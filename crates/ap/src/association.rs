@@ -1,0 +1,229 @@
+//! Adaptive association (Sec. 5.2.1).
+//!
+//! "Most clients today associate with the AP that has the strongest
+//! signal. When a client node is moving, however, other factors such as
+//! the node's heading might provide an important clue about the best AP to
+//! associate with."
+//!
+//! The hint-aware policy scores each candidate AP by its *predicted
+//! association lifetime*: how long the client's current course keeps it
+//! inside the AP's coverage disk, combined with whether the link is usable
+//! at all right now. The signal-strength policy is the baseline.
+
+use hint_sensors::gps::Position;
+
+/// A candidate AP as seen during a scan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApCandidate {
+    /// AP identifier (index into the scan list).
+    pub id: usize,
+    /// AP position on the local plane, metres.
+    pub position: Position,
+    /// Received signal strength, dBm (stronger = closer, typically).
+    pub rssi_dbm: f64,
+    /// Usable coverage radius, metres.
+    pub coverage_m: f64,
+}
+
+/// The client's motion hints at scan time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientMotion {
+    /// Client position, metres.
+    pub position: Position,
+    /// Movement hint: is the client moving at all?
+    pub moving: bool,
+    /// Heading, degrees clockwise from north (meaningful when moving).
+    pub heading_deg: f64,
+    /// Speed, m/s.
+    pub speed_mps: f64,
+}
+
+/// Association policies under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssociationPolicy {
+    /// Pick the strongest signal (today's default).
+    StrongestSignal,
+    /// Pick the longest predicted association lifetime (hint-aware).
+    HintAware,
+}
+
+/// Predicted time (seconds) the client remains inside the AP's coverage
+/// disk on its current course. Infinite for a static client already in
+/// coverage; zero if already outside.
+pub fn predicted_dwell_s(ap: &ApCandidate, client: &ClientMotion) -> f64 {
+    let dx = client.position.x - ap.position.x;
+    let dy = client.position.y - ap.position.y;
+    let dist2 = dx * dx + dy * dy;
+    let r2 = ap.coverage_m * ap.coverage_m;
+    if dist2 > r2 {
+        return 0.0;
+    }
+    if !client.moving || client.speed_mps < 0.05 {
+        return f64::INFINITY;
+    }
+    // Ray–circle intersection: position p + t·v, |p + t·v|² = r².
+    let h = client.heading_deg.to_radians();
+    let vx = client.speed_mps * h.sin();
+    let vy = client.speed_mps * h.cos();
+    let a = vx * vx + vy * vy;
+    let b = 2.0 * (dx * vx + dy * vy);
+    let c = dist2 - r2;
+    let disc = b * b - 4.0 * a * c;
+    if disc <= 0.0 || a == 0.0 {
+        return 0.0;
+    }
+    let t = (-b + disc.sqrt()) / (2.0 * a);
+    t.max(0.0)
+}
+
+/// Choose an AP from `candidates` under `policy`. Returns `None` when the
+/// scan is empty or (for the hint-aware policy) no AP covers the client.
+pub fn choose_ap(
+    candidates: &[ApCandidate],
+    client: &ClientMotion,
+    policy: AssociationPolicy,
+) -> Option<usize> {
+    match policy {
+        AssociationPolicy::StrongestSignal => candidates
+            .iter()
+            .max_by(|a, b| a.rssi_dbm.partial_cmp(&b.rssi_dbm).expect("finite rssi"))
+            .map(|ap| ap.id),
+        AssociationPolicy::HintAware => {
+            // Score by predicted dwell; break ties (e.g. two static-client
+            // infinities) by signal strength.
+            candidates
+                .iter()
+                .filter(|ap| predicted_dwell_s(ap, client) > 0.0)
+                .max_by(|a, b| {
+                    let da = predicted_dwell_s(a, client);
+                    let db = predicted_dwell_s(b, client);
+                    da.partial_cmp(&db)
+                        .expect("finite dwell")
+                        .then(a.rssi_dbm.partial_cmp(&b.rssi_dbm).expect("finite rssi"))
+                })
+                .map(|ap| ap.id)
+        }
+    }
+}
+
+/// Simulate the association lifetime actually achieved: seconds until the
+/// client's course leaves the chosen AP's coverage (capped at `horizon_s`).
+pub fn realized_lifetime_s(ap: &ApCandidate, client: &ClientMotion, horizon_s: f64) -> f64 {
+    predicted_dwell_s(ap, client).min(horizon_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(id: usize, x: f64, y: f64, rssi: f64) -> ApCandidate {
+        ApCandidate {
+            id,
+            position: Position { x, y },
+            rssi_dbm: rssi,
+            coverage_m: 100.0,
+        }
+    }
+
+    fn walking_east(x: f64, y: f64) -> ClientMotion {
+        ClientMotion {
+            position: Position { x, y },
+            moving: true,
+            heading_deg: 90.0,
+            speed_mps: 1.4,
+        }
+    }
+
+    #[test]
+    fn dwell_geometry() {
+        // Client at the west edge of coverage walking east through the
+        // centre: dwell = diameter / speed.
+        let a = ap(0, 100.0, 0.0, -50.0);
+        let c = walking_east(0.0, 0.0);
+        let d = predicted_dwell_s(&a, &c);
+        assert!((d - 200.0 / 1.4).abs() < 1.0, "dwell {d}");
+        // Walking straight *away* from a covering AP: small dwell.
+        let mut away = walking_east(90.0, 0.0);
+        away.heading_deg = 270.0; // west, away from AP at x=100
+        let d = predicted_dwell_s(&a, &away);
+        assert!(d < 70.0, "dwell when leaving {d}");
+    }
+
+    #[test]
+    fn outside_coverage_is_zero() {
+        let a = ap(0, 1000.0, 0.0, -90.0);
+        assert_eq!(predicted_dwell_s(&a, &walking_east(0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn static_client_in_coverage_dwells_forever() {
+        let a = ap(0, 10.0, 0.0, -40.0);
+        let c = ClientMotion {
+            position: Position::default(),
+            moving: false,
+            heading_deg: 0.0,
+            speed_mps: 0.0,
+        };
+        assert_eq!(predicted_dwell_s(&a, &c), f64::INFINITY);
+    }
+
+    #[test]
+    fn hint_aware_prefers_ap_ahead() {
+        // The paper's motivating example: AP 0 is behind the moving client
+        // (stronger right now), AP 1 is ahead (slightly weaker). Signal
+        // policy picks 0; hint policy picks 1 and earns a much longer
+        // association.
+        let behind = ap(0, -20.0, 0.0, -45.0);
+        let ahead = ap(1, 80.0, 0.0, -55.0);
+        let c = walking_east(0.0, 0.0);
+        assert_eq!(
+            choose_ap(&[behind, ahead], &c, AssociationPolicy::StrongestSignal),
+            Some(0)
+        );
+        assert_eq!(
+            choose_ap(&[behind, ahead], &c, AssociationPolicy::HintAware),
+            Some(1)
+        );
+        let lt_signal = realized_lifetime_s(&behind, &c, 600.0);
+        let lt_hint = realized_lifetime_s(&ahead, &c, 600.0);
+        assert!(
+            lt_hint > 1.5 * lt_signal,
+            "hint {lt_hint:.0}s vs signal {lt_signal:.0}s"
+        );
+    }
+
+    #[test]
+    fn static_client_falls_back_to_signal() {
+        let near = ap(0, 10.0, 0.0, -40.0);
+        let far = ap(1, 60.0, 0.0, -70.0);
+        let c = ClientMotion {
+            position: Position::default(),
+            moving: false,
+            heading_deg: 0.0,
+            speed_mps: 0.0,
+        };
+        // Both dwell forever; tie broken by RSSI.
+        assert_eq!(
+            choose_ap(&[near, far], &c, AssociationPolicy::HintAware),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn empty_scan_returns_none() {
+        let c = walking_east(0.0, 0.0);
+        assert_eq!(choose_ap(&[], &c, AssociationPolicy::HintAware), None);
+        assert_eq!(choose_ap(&[], &c, AssociationPolicy::StrongestSignal), None);
+    }
+
+    #[test]
+    fn hint_aware_ignores_aps_out_of_range() {
+        let unreachable = ap(0, 5000.0, 0.0, -30.0); // absurd RSSI, far away
+        let ok = ap(1, 50.0, 0.0, -60.0);
+        let c = walking_east(0.0, 0.0);
+        assert_eq!(
+            choose_ap(&[unreachable, ok], &c, AssociationPolicy::HintAware),
+            Some(1)
+        );
+    }
+}

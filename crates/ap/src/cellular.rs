@@ -1,0 +1,248 @@
+//! Hints in cellular networks (Sec. 5.5).
+//!
+//! "A cellular base station might adapt its bit rate rapidly using a
+//! protocol like RapidSample when interacting with a mobile client, or
+//! mobile clients might adapt the frequency with which they probe for
+//! nearby base-stations when they know they are (or are not) moving, or
+//! even hand-off to a better base station based on speed and location."
+//!
+//! Three small models quantify the sketch:
+//!
+//! * [`scan_interval_for`] — hint-scaled neighbour-cell scan cadence.
+//! * [`HandoffPolicy`] — speed/heading-aware cell selection: fast clients
+//!   skip small cells they would cross in seconds (avoiding ping-pong
+//!   handoffs), exactly the "hand-off to a better base station based on
+//!   speed" idea.
+//! * [`handoff_simulation`] — a 1-D drive past alternating macro/micro
+//!   cells counting handoffs under each policy.
+
+use hint_sensors::hints::MobilityHints;
+use hint_sim::SimDuration;
+
+/// Neighbour-cell scan interval from the mobility hints: static clients
+/// relax their scanning the same way Ch. 4 relaxes mesh probing.
+pub fn scan_interval_for(hints: &MobilityHints, base: SimDuration) -> SimDuration {
+    if !hints.is_moving() {
+        // Static: 10x slower, mirroring the Ch. 4 probing asymmetry.
+        return base * 10;
+    }
+    match hints.speed.map(|s| s.mps()) {
+        // Vehicular: cells change fast — scan at the base cadence.
+        Some(v) if v > 8.0 => base,
+        // Walking: half-rate is plenty.
+        _ => base * 2,
+    }
+}
+
+/// One candidate cell along the client's path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cell {
+    /// Cell centre along the 1-D road, metres.
+    pub center_m: f64,
+    /// Coverage radius, metres (micro cells ~100 m, macro ~1000 m).
+    pub radius_m: f64,
+    /// Signal quality bonus inside the cell (micro cells are better when
+    /// you can keep them).
+    pub quality: f64,
+}
+
+impl Cell {
+    /// Does the cell cover position `x`?
+    pub fn covers(&self, x: f64) -> bool {
+        (x - self.center_m).abs() <= self.radius_m
+    }
+
+    /// Time a client at `x` moving at `v` m/s remains covered, seconds.
+    pub fn residence_s(&self, x: f64, v: f64) -> f64 {
+        if !self.covers(x) {
+            return 0.0;
+        }
+        if v <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.center_m + self.radius_m - x).max(0.0) / v
+    }
+}
+
+/// Cell-selection policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandoffPolicy {
+    /// Always take the best-quality covering cell (hint-free).
+    BestSignal,
+    /// Take the best covering cell whose expected residence exceeds
+    /// `min_residence`, judged from the speed hint.
+    SpeedAware {
+        /// Minimum worthwhile residence, seconds.
+        min_residence_s: u32,
+    },
+}
+
+/// Pick a cell index for a client at `x` moving at `v` under `policy`.
+pub fn pick_cell(cells: &[Cell], x: f64, v: f64, policy: HandoffPolicy) -> Option<usize> {
+    let covering = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.covers(x));
+    match policy {
+        HandoffPolicy::BestSignal => covering
+            .max_by(|a, b| a.1.quality.partial_cmp(&b.1.quality).expect("finite"))
+            .map(|(i, _)| i),
+        HandoffPolicy::SpeedAware { min_residence_s } => {
+            let viable: Vec<(usize, &Cell)> = cells
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.covers(x) && c.residence_s(x, v) >= f64::from(min_residence_s))
+                .collect();
+            if viable.is_empty() {
+                // Nothing lasts long enough: fall back to best signal.
+                return pick_cell(cells, x, v, HandoffPolicy::BestSignal);
+            }
+            viable
+                .into_iter()
+                .max_by(|a, b| a.1.quality.partial_cmp(&b.1.quality).expect("finite"))
+                .map(|(i, _)| i)
+        }
+    }
+}
+
+/// Outcome of a drive-past simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HandoffOutcome {
+    /// Total handoffs performed.
+    pub handoffs: u32,
+    /// Fraction of time attached to a micro (high-quality) cell.
+    pub micro_fraction: f64,
+}
+
+/// Simulate a client driving `length_m` at `v` m/s past a corridor of
+/// macro coverage with periodic micro cells, counting handoffs.
+pub fn handoff_simulation(
+    v_mps: f64,
+    length_m: f64,
+    micro_spacing_m: f64,
+    policy: HandoffPolicy,
+) -> HandoffOutcome {
+    // One macro cell covering everything, plus micro cells every
+    // `micro_spacing_m`.
+    let mut cells = vec![Cell {
+        center_m: length_m / 2.0,
+        radius_m: length_m,
+        quality: 1.0,
+    }];
+    let mut c = micro_spacing_m / 2.0;
+    while c < length_m {
+        cells.push(Cell {
+            center_m: c,
+            radius_m: 100.0,
+            quality: 3.0,
+        });
+        c += micro_spacing_m;
+    }
+
+    let mut attached: Option<usize> = None;
+    let mut handoffs = 0u32;
+    let mut micro_time = 0.0;
+    let mut t = 0.0;
+    let dt = 1.0;
+    while t * v_mps < length_m {
+        let x = t * v_mps;
+        let pick = pick_cell(&cells, x, v_mps, policy);
+        if pick != attached {
+            if attached.is_some() {
+                handoffs += 1;
+            }
+            attached = pick;
+        }
+        if let Some(i) = attached {
+            if i != 0 {
+                micro_time += dt;
+            }
+        }
+        t += dt;
+    }
+    HandoffOutcome {
+        handoffs,
+        micro_fraction: micro_time / t.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_sensors::hints::SpeedHint;
+
+    #[test]
+    fn scan_interval_scales_with_mobility() {
+        let base = SimDuration::from_secs(5);
+        let still = MobilityHints::movement_only(false);
+        assert_eq!(scan_interval_for(&still, base), SimDuration::from_secs(50));
+        let mut walking = MobilityHints::movement_only(true);
+        walking.speed = Some(SpeedHint::new(1.4));
+        assert_eq!(scan_interval_for(&walking, base), SimDuration::from_secs(10));
+        let mut driving = MobilityHints::movement_only(true);
+        driving.speed = Some(SpeedHint::new(20.0));
+        assert_eq!(scan_interval_for(&driving, base), base);
+    }
+
+    #[test]
+    fn residence_geometry() {
+        let c = Cell {
+            center_m: 100.0,
+            radius_m: 50.0,
+            quality: 1.0,
+        };
+        assert!(c.covers(60.0));
+        assert!(!c.covers(151.0));
+        assert_eq!(c.residence_s(100.0, 10.0), 5.0);
+        assert_eq!(c.residence_s(500.0, 10.0), 0.0);
+        assert_eq!(c.residence_s(100.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn speed_aware_skips_transient_micro_cells() {
+        // At highway speed, a 200 m-wide micro cell lasts 10 s at 20 m/s;
+        // demanding 30 s residence keeps the client on the macro cell.
+        let fast = handoff_simulation(
+            20.0,
+            5000.0,
+            500.0,
+            HandoffPolicy::SpeedAware { min_residence_s: 30 },
+        );
+        let naive = handoff_simulation(20.0, 5000.0, 500.0, HandoffPolicy::BestSignal);
+        assert!(
+            fast.handoffs * 3 < naive.handoffs,
+            "speed-aware {} vs naive {} handoffs",
+            fast.handoffs,
+            naive.handoffs
+        );
+    }
+
+    #[test]
+    fn pedestrians_still_enjoy_micro_cells() {
+        // At walking speed every micro cell lasts minutes, so the
+        // speed-aware policy behaves like best-signal.
+        let walk = handoff_simulation(
+            1.4,
+            2000.0,
+            500.0,
+            HandoffPolicy::SpeedAware { min_residence_s: 30 },
+        );
+        let naive = handoff_simulation(1.4, 2000.0, 500.0, HandoffPolicy::BestSignal);
+        assert_eq!(walk.handoffs, naive.handoffs);
+        assert!(walk.micro_fraction > 0.3, "micro share {}", walk.micro_fraction);
+    }
+
+    #[test]
+    fn fallback_when_nothing_qualifies() {
+        // A client faster than every cell's residence still attaches.
+        let cells = vec![Cell {
+            center_m: 50.0,
+            radius_m: 60.0,
+            quality: 1.0,
+        }];
+        let pick = pick_cell(&cells, 50.0, 1000.0, HandoffPolicy::SpeedAware {
+            min_residence_s: 60,
+        });
+        assert_eq!(pick, Some(0));
+    }
+}

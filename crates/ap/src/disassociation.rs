@@ -1,0 +1,454 @@
+//! Adaptive disassociation and the Fig. 5-1 pathology (Sec. 5.2.3).
+//!
+//! The measured behaviour this module reproduces: two clients share an AP;
+//! one walks out of range ~35 s in. "The AP was unaware of the movement of
+//! the first client, and continued to send packets to it. Of course, none
+//! of the link-layer frames got a link-layer ACK, so the AP re-sent them
+//! ... the absence of ACKs caused the bit rate to the moved client [to]
+//! drop to the lowest rate ... the AP implements frame-level fairness
+//! between clients ... the result is a significant drop in throughput [for
+//! the *remaining* client]. Finally, after about 10 seconds of getting no
+//! response, the AP pruned the absent client."
+//!
+//! The hint-aware fix: "use the mobile hint protocol to have the client
+//! inform the AP of movement. When that happens, the AP does not simply
+//! attempt to send packets open-loop ... using a more careful protocol to
+//! only very occasionally probe."
+
+use hint_mac::{retry::RetryPolicy, BitRate, MacTiming};
+use hint_sim::{RngStream, SimDuration, SimTime};
+
+/// How the AP divides service between clients with pending traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FairnessModel {
+    /// Equal number of frame *transactions* per client — the commercial-AP
+    /// behaviour behind Fig. 5-1's collapse.
+    FrameLevel,
+    /// Equal *airtime* per client (Tan & Guttag); bounds the damage at
+    /// ~50% but does not remove it.
+    TimeBased,
+}
+
+/// When the AP gives up on an unresponsive client.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DisassociationPolicy {
+    /// Prune after this long without any ACK (commercial default ≈ 10 s).
+    Timeout {
+        /// Silence threshold before pruning.
+        prune_after: SimDuration,
+    },
+    /// Quarantine a client as soon as its movement hint arrives; probe it
+    /// once per `probe_interval` instead of blasting data open-loop.
+    HintAware {
+        /// Gentle probe cadence for quarantined clients.
+        probe_interval: SimDuration,
+    },
+}
+
+/// One client's scenario script.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Leaves radio range at this time (`None` = stays forever).
+    pub departs_at: Option<SimTime>,
+    /// Starts moving (and, if the hint protocol runs, says so) this long
+    /// before actually leaving range.
+    pub moves_before_departure: SimDuration,
+    /// Whether this client participates in the hint protocol.
+    pub sends_hints: bool,
+}
+
+impl ClientConfig {
+    /// A client that never leaves.
+    pub fn resident() -> Self {
+        ClientConfig {
+            departs_at: None,
+            moves_before_departure: SimDuration::ZERO,
+            sends_hints: false,
+        }
+    }
+
+    /// A client that walks away at `t` (moving for 3 s beforehand).
+    pub fn departing(t: SimTime) -> Self {
+        ClientConfig {
+            departs_at: Some(t),
+            moves_before_departure: SimDuration::from_secs(3),
+            sends_hints: false,
+        }
+    }
+
+    /// The same departing client running the hint protocol.
+    pub fn departing_with_hints(t: SimTime) -> Self {
+        ClientConfig {
+            sends_hints: true,
+            ..Self::departing(t)
+        }
+    }
+
+    fn in_range(&self, now: SimTime) -> bool {
+        match self.departs_at {
+            None => true,
+            Some(t) => now < t,
+        }
+    }
+
+    fn moving(&self, now: SimTime) -> bool {
+        match self.departs_at {
+            None => false,
+            Some(t) => now + self.moves_before_departure >= t,
+        }
+    }
+}
+
+/// Per-client runtime state inside the AP.
+#[derive(Clone, Debug)]
+struct ClientState {
+    cfg: ClientConfig,
+    rate: BitRate,
+    consecutive_success: u32,
+    last_ack: SimTime,
+    pruned: bool,
+    /// Quarantined by a movement hint (hint-aware policy).
+    quarantined: bool,
+    next_probe: SimTime,
+    airtime_used: SimDuration,
+    delivered_per_second: Vec<u64>,
+}
+
+/// The two-client AP simulator behind Fig. 5-1.
+pub struct ApSimulator {
+    fairness: FairnessModel,
+    policy: DisassociationPolicy,
+    timing: MacTiming,
+    retry: RetryPolicy,
+    clients: Vec<ClientState>,
+    rng: RngStream,
+    /// Per-frame delivery probability for an in-range client.
+    pub in_range_delivery: f64,
+}
+
+/// Result of an AP simulation.
+#[derive(Clone, Debug)]
+pub struct ApRunResult {
+    /// Per-client, per-second delivered packet counts.
+    pub delivered_per_second: Vec<Vec<u64>>,
+}
+
+impl ApRunResult {
+    /// Per-second goodput in Mbit/s for client `i` (1000-byte packets).
+    pub fn goodput_mbps_series(&self, client: usize) -> Vec<f64> {
+        self.delivered_per_second[client]
+            .iter()
+            .map(|&n| n as f64 * 8000.0 / 1e6)
+            .collect()
+    }
+
+    /// Mean goodput of client `i` over `[from_s, to_s)`, Mbit/s.
+    pub fn mean_goodput_mbps(&self, client: usize, from_s: usize, to_s: usize) -> f64 {
+        let series = &self.delivered_per_second[client];
+        let to = to_s.min(series.len());
+        if from_s >= to {
+            return 0.0;
+        }
+        let sum: u64 = series[from_s..to].iter().sum();
+        sum as f64 * 8000.0 / 1e6 / (to - from_s) as f64
+    }
+}
+
+impl ApSimulator {
+    /// AP with the given fairness and disassociation policy serving the
+    /// scripted clients.
+    pub fn new(
+        fairness: FairnessModel,
+        policy: DisassociationPolicy,
+        clients: Vec<ClientConfig>,
+        seed: u64,
+    ) -> Self {
+        let states = clients
+            .into_iter()
+            .map(|cfg| ClientState {
+                cfg,
+                rate: BitRate::FASTEST,
+                consecutive_success: 0,
+                last_ack: SimTime::ZERO,
+                pruned: false,
+                quarantined: false,
+                next_probe: SimTime::ZERO,
+                airtime_used: SimDuration::ZERO,
+                delivered_per_second: Vec::new(),
+            })
+            .collect();
+        ApSimulator {
+            fairness,
+            policy,
+            timing: MacTiming::ieee80211a(),
+            retry: RetryPolicy::default(),
+            clients: states,
+            rng: RngStream::new(seed).derive("ap"),
+            in_range_delivery: 0.97,
+        }
+    }
+
+    /// Pick which active client to serve next.
+    fn next_client(&self, served: &[u64]) -> Option<usize> {
+        let eligible: Vec<usize> = (0..self.clients.len())
+            .filter(|&i| !self.clients[i].pruned && !self.clients[i].quarantined)
+            .collect();
+        match self.fairness {
+            FairnessModel::FrameLevel => {
+                // Fewest frame transactions so far.
+                eligible.into_iter().min_by_key(|&i| served[i])
+            }
+            FairnessModel::TimeBased => {
+                // Least airtime so far.
+                eligible
+                    .into_iter()
+                    .min_by_key(|&i| self.clients[i].airtime_used.as_micros())
+            }
+        }
+    }
+
+    /// Run for `duration` and return the per-second delivery series.
+    pub fn run(mut self, duration: SimDuration) -> ApRunResult {
+        let n_secs = duration.as_secs_f64().ceil() as usize;
+        for c in &mut self.clients {
+            c.delivered_per_second = vec![0; n_secs];
+        }
+        let mut served = vec![0u64; self.clients.len()];
+        let mut now = SimTime::ZERO;
+        let end = SimTime::ZERO + duration;
+
+        while now < end {
+            // Hint processing and quarantine probing (hint-aware policy).
+            if let DisassociationPolicy::HintAware { probe_interval } = self.policy {
+                for c in &mut self.clients {
+                    if c.cfg.sends_hints && !c.pruned {
+                        let moving = c.cfg.moving(now) && c.cfg.in_range(now);
+                        // The hint arrives on frames while in range; once
+                        // the client is gone, the last hint (moving=true)
+                        // stays in force.
+                        if moving && !c.quarantined {
+                            c.quarantined = true;
+                            c.next_probe = now;
+                        }
+                    }
+                    if c.quarantined && now >= c.next_probe {
+                        // One gentle probe; returns the client to service
+                        // if it answers and reports static again.
+                        let ok = c.cfg.in_range(now)
+                            && self.rng.chance(self.in_range_delivery);
+                        if ok && !c.cfg.moving(now) {
+                            c.quarantined = false;
+                        }
+                        c.next_probe = now + probe_interval;
+                    }
+                }
+            }
+
+            let Some(i) = self.next_client(&served) else {
+                // Everyone pruned or quarantined: idle briefly.
+                now += SimDuration::from_millis(10);
+                continue;
+            };
+            served[i] += 1;
+
+            // One frame transaction: retry chain until ACK or retries out.
+            let mut delivered = false;
+            let initial_rate = self.clients[i].rate;
+            let mut attempt = 0;
+            while self.retry.may_retry(attempt) {
+                let rate = self.retry.rate_for_attempt(initial_rate, attempt);
+                let c = &mut self.clients[i];
+                let t_frame = self.timing.dcf_exchange_time(rate, 1000);
+                now += t_frame;
+                c.airtime_used += t_frame;
+                attempt += 1;
+                let ok = c.cfg.in_range(now) && self.rng.chance(self.in_range_delivery);
+                if ok {
+                    delivered = true;
+                    c.last_ack = now;
+                    c.consecutive_success += 1;
+                    // ARF-style recovery: climb after 10 clean frames.
+                    if c.consecutive_success >= 10 {
+                        c.consecutive_success = 0;
+                        if let Some(up) = c.rate.next_faster() {
+                            c.rate = up;
+                        }
+                    }
+                    break;
+                }
+                c.consecutive_success = 0;
+            }
+            let c = &mut self.clients[i];
+            if delivered {
+                let sec = (now.as_micros() / 1_000_000) as usize;
+                if sec < c.delivered_per_second.len() {
+                    c.delivered_per_second[sec] += 1;
+                }
+            } else {
+                // Whole chain failed: step the operating rate down (the
+                // Fig. 5-1 rate collapse).
+                if let Some(down) = c.rate.next_slower() {
+                    c.rate = down;
+                }
+                // Timeout-based pruning.
+                if let DisassociationPolicy::Timeout { prune_after } = self.policy {
+                    if now.saturating_since(c.last_ack) >= prune_after {
+                        c.pruned = true;
+                    }
+                }
+            }
+            if now >= end {
+                break;
+            }
+        }
+
+        ApRunResult {
+            delivered_per_second: self
+                .clients
+                .iter()
+                .map(|c| c.delivered_per_second.clone())
+                .collect(),
+        }
+    }
+}
+
+/// Run the complete Fig. 5-1 scenario: client 0 resident, client 1
+/// departing at 35 s, 60 s run. Returns the per-second series.
+pub fn fig_5_1_scenario(policy: DisassociationPolicy, fairness: FairnessModel) -> ApRunResult {
+    let departing = match policy {
+        DisassociationPolicy::HintAware { .. } => {
+            ClientConfig::departing_with_hints(SimTime::from_secs(35))
+        }
+        DisassociationPolicy::Timeout { .. } => ClientConfig::departing(SimTime::from_secs(35)),
+    };
+    ApSimulator::new(
+        fairness,
+        policy,
+        vec![ClientConfig::resident(), departing],
+        0xF161,
+    )
+    .run(SimDuration::from_secs(60))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeout_policy() -> DisassociationPolicy {
+        DisassociationPolicy::Timeout {
+            prune_after: SimDuration::from_secs(10),
+        }
+    }
+
+    fn hint_policy() -> DisassociationPolicy {
+        DisassociationPolicy::HintAware {
+            probe_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn fig_5_1_collapse_and_recovery() {
+        let r = fig_5_1_scenario(timeout_policy(), FairnessModel::FrameLevel);
+        // Before departure both clients roughly share the bandwidth.
+        let before0 = r.mean_goodput_mbps(0, 5, 30);
+        let before1 = r.mean_goodput_mbps(1, 5, 30);
+        assert!((before0 - before1).abs() / before0 < 0.2, "{before0} vs {before1}");
+        // During the pathology window the static client collapses.
+        let during = r.mean_goodput_mbps(0, 36, 44);
+        assert!(
+            during < 0.35 * before0,
+            "static client during collapse {during:.2} vs before {before0:.2} Mbps"
+        );
+        // After pruning (≈45 s) the static client recovers to use the
+        // whole channel (≈ 2× its pre-departure share).
+        let after = r.mean_goodput_mbps(0, 48, 60);
+        assert!(
+            after > 1.6 * before0,
+            "recovered {after:.2} vs before {before0:.2} Mbps"
+        );
+        // The departed client delivers nothing after leaving.
+        assert_eq!(r.mean_goodput_mbps(1, 40, 60), 0.0);
+    }
+
+    #[test]
+    fn pruning_happens_around_ten_seconds() {
+        let r = fig_5_1_scenario(timeout_policy(), FairnessModel::FrameLevel);
+        let before = r.mean_goodput_mbps(0, 5, 30);
+        // Still collapsed at 40 s; recovered by 50 s.
+        assert!(r.mean_goodput_mbps(0, 38, 42) < 0.5 * before);
+        assert!(r.mean_goodput_mbps(0, 50, 60) > 1.5 * before);
+    }
+
+    #[test]
+    fn hint_aware_pruning_avoids_collapse() {
+        let r = fig_5_1_scenario(hint_policy(), FairnessModel::FrameLevel);
+        let before = r.mean_goodput_mbps(0, 5, 30);
+        let during = r.mean_goodput_mbps(0, 36, 44);
+        // No collapse: the static client's throughput *rises* once the
+        // departed client is quarantined.
+        assert!(
+            during > 1.3 * before,
+            "hint-aware during-window {during:.2} vs before {before:.2} Mbps"
+        );
+    }
+
+    #[test]
+    fn time_based_fairness_bounds_the_damage() {
+        // Sec. 5.2.3: "even if time-based fairness were in place, the
+        // resulting throughput ... would be only about 50% of what it
+        // should be" — better than the frame-level collapse, worse than
+        // hint-aware.
+        let frame = fig_5_1_scenario(timeout_policy(), FairnessModel::FrameLevel);
+        let time = fig_5_1_scenario(timeout_policy(), FairnessModel::TimeBased);
+        let before = time.mean_goodput_mbps(0, 5, 30);
+        let frame_during = frame.mean_goodput_mbps(0, 36, 44);
+        let time_during = time.mean_goodput_mbps(0, 36, 44);
+        assert!(
+            time_during > 1.5 * frame_during,
+            "time-based {time_during:.2} vs frame {frame_during:.2} Mbps"
+        );
+        // Static client under time fairness keeps roughly its old share
+        // (the wasted airtime is charged to the absent client).
+        assert!(
+            time_during > 0.6 * before && time_during < 1.6 * before,
+            "time-based during {time_during:.2} vs before {before:.2}"
+        );
+    }
+
+    #[test]
+    fn resident_only_ap_is_stable() {
+        let r = ApSimulator::new(
+            FairnessModel::FrameLevel,
+            timeout_policy(),
+            vec![ClientConfig::resident()],
+            1,
+        )
+        .run(SimDuration::from_secs(20));
+        let early = r.mean_goodput_mbps(0, 2, 10);
+        let late = r.mean_goodput_mbps(0, 10, 18);
+        assert!((early - late).abs() / early < 0.1, "{early} vs {late}");
+        assert!(early > 10.0, "single client should saturate: {early} Mbps");
+    }
+
+    #[test]
+    fn hint_oblivious_client_with_hint_policy_still_prunes_nothing_early() {
+        // A departing client that does NOT run the hint protocol under a
+        // hint-aware AP: the AP gets no hint, so the collapse happens
+        // (hint-aware APs coexist with legacy clients, Sec. 2.3 — but
+        // they cannot help them).
+        let departing = ClientConfig::departing(SimTime::from_secs(35));
+        let r = ApSimulator::new(
+            FairnessModel::FrameLevel,
+            hint_policy(),
+            vec![ClientConfig::resident(), departing],
+            2,
+        )
+        .run(SimDuration::from_secs(60));
+        let before = r.mean_goodput_mbps(0, 5, 30);
+        let during = r.mean_goodput_mbps(0, 36, 50);
+        assert!(
+            during < 0.5 * before,
+            "legacy client still causes collapse: {during:.2} vs {before:.2}"
+        );
+    }
+}

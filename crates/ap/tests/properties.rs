@@ -1,0 +1,96 @@
+//! Property-based tests for AP policies.
+
+use hint_ap::association::{
+    choose_ap, predicted_dwell_s, ApCandidate, AssociationPolicy, ClientMotion,
+};
+use hint_ap::scheduler::{simulate_two_client_schedule, SchedulePolicy};
+use hint_mac::BitRate;
+use hint_sensors::gps::Position;
+use proptest::prelude::*;
+
+fn client(x: f64, y: f64, heading: f64, speed: f64) -> ClientMotion {
+    ClientMotion {
+        position: Position { x, y },
+        moving: speed > 0.0,
+        heading_deg: heading,
+        speed_mps: speed,
+    }
+}
+
+proptest! {
+    /// Dwell time is non-negative, zero outside coverage, and scales
+    /// inversely with speed along the same course.
+    #[test]
+    fn dwell_time_properties(
+        ax in -500.0f64..500.0, ay in -500.0f64..500.0,
+        heading in 0.0f64..360.0, speed in 0.1f64..30.0,
+    ) {
+        let ap = ApCandidate {
+            id: 0,
+            position: Position { x: ax, y: ay },
+            rssi_dbm: -60.0,
+            coverage_m: 100.0,
+        };
+        let c = client(0.0, 0.0, heading, speed);
+        let d = predicted_dwell_s(&ap, &c);
+        prop_assert!(d >= 0.0);
+        let inside = (ax * ax + ay * ay).sqrt() <= 100.0;
+        if !inside {
+            prop_assert_eq!(d, 0.0);
+        } else if d.is_finite() && d > 0.0 {
+            // Double the speed ⇒ half the dwell (same geometry).
+            let c2 = client(0.0, 0.0, heading, speed * 2.0);
+            let d2 = predicted_dwell_s(&ap, &c2);
+            prop_assert!((d2 - d / 2.0).abs() < 1e-6 * d.max(1.0), "d {d} d2 {d2}");
+        }
+    }
+
+    /// choose_ap returns an id from the candidate list (or None), for
+    /// both policies, always.
+    #[test]
+    fn choose_ap_total(
+        n in 0usize..6,
+        seedx in -300.0f64..300.0,
+        heading in 0.0f64..360.0,
+        speed in 0.0f64..20.0,
+    ) {
+        let candidates: Vec<ApCandidate> = (0..n)
+            .map(|i| ApCandidate {
+                id: i,
+                position: Position {
+                    x: seedx + i as f64 * 60.0 - 150.0,
+                    y: (i as f64 * 37.0) % 120.0 - 60.0,
+                },
+                rssi_dbm: -40.0 - i as f64 * 5.0,
+                coverage_m: 100.0,
+            })
+            .collect();
+        let c = client(0.0, 0.0, heading, speed);
+        for policy in [AssociationPolicy::StrongestSignal, AssociationPolicy::HintAware] {
+            match choose_ap(&candidates, &c, policy) {
+                Some(id) => prop_assert!(candidates.iter().any(|a| a.id == id)),
+                None => prop_assert!(
+                    candidates.is_empty() || policy == AssociationPolicy::HintAware
+                ),
+            }
+        }
+    }
+
+    /// Scheduling conservation: the static batch is never over-delivered,
+    /// and a larger mobile share never reduces aggregate delivery while
+    /// the mobile client is present.
+    #[test]
+    fn scheduling_conservation(batch in 100u64..30_000, window in 0.0f64..30.0, share in 0.5f64..1.0) {
+        let base = simulate_two_client_schedule(
+            SchedulePolicy::EqualShare, BitRate::R54, batch, window, 60.0);
+        let fav = simulate_two_client_schedule(
+            SchedulePolicy::FavorMobile { mobile_share: share }, BitRate::R54, batch, window, 60.0);
+        prop_assert!(base.static_delivered <= batch);
+        prop_assert!(fav.static_delivered <= batch);
+        prop_assert!(fav.aggregate() + 1 >= base.aggregate(),
+            "favoring lost aggregate: {} vs {}", fav.aggregate(), base.aggregate());
+        if window == 0.0 {
+            prop_assert_eq!(fav.mobile_delivered, 0);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the hot paths every experiment leans on:
+//! channel sampling, trace generation, jerk detection, and the per-packet
+//! decision loops of each rate-adaptation protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hint_channel::{ChannelModel, Environment, Trace};
+use hint_rateadapt::protocols::{
+    Charm, HintAware, RapidSample, RateAdapter, Rbar, Rraa, SampleRate,
+};
+use hint_rateadapt::{HintStream, LinkSimulator, Workload};
+use hint_sensors::accelerometer::Accelerometer;
+use hint_sensors::jerk::MovementDetector;
+use hint_sensors::MotionProfile;
+use hint_sim::{RngStream, SimDuration, SimTime};
+
+fn bench_channel(c: &mut Criterion) {
+    let env = Environment::office();
+    let profile = MotionProfile::walking(SimDuration::from_secs(3600), 1.4, 0.0);
+
+    c.bench_function("channel/snr_at (per sample)", |b| {
+        let mut ch = ChannelModel::new(env.clone(), profile.clone(), RngStream::new(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ch.snr_at(SimTime::from_micros(i * 220)))
+        });
+    });
+
+    c.bench_function("channel/trace_generate 1s", |b| {
+        let p = MotionProfile::walking(SimDuration::from_secs(1), 1.4, 0.0);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(Trace::generate(&env, &p, SimDuration::from_secs(1), seed))
+        });
+    });
+}
+
+fn bench_sensors(c: &mut Criterion) {
+    c.bench_function("sensors/jerk_detector (per report)", |b| {
+        let profile = MotionProfile::walking(SimDuration::from_secs(3600), 1.4, 0.0);
+        let mut accel = Accelerometer::new(profile, RngStream::new(2));
+        let mut det = MovementDetector::new();
+        b.iter(|| {
+            let r = accel.next_report();
+            black_box(det.push(&r))
+        });
+    });
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/pick+report");
+    let adapters: Vec<(&str, Box<dyn Fn() -> Box<dyn RateAdapter>>)> = vec![
+        ("RapidSample", Box::new(|| Box::new(RapidSample::new()))),
+        ("SampleRate", Box::new(|| Box::new(SampleRate::new()))),
+        ("RRAA", Box::new(|| Box::new(Rraa::new()))),
+        ("RBAR", Box::new(|| Box::new(Rbar::new()))),
+        ("CHARM", Box::new(|| Box::new(Charm::new()))),
+        ("HintAware", Box::new(|| Box::new(HintAware::new()))),
+    ];
+    for (name, make) in adapters {
+        group.bench_function(name, |b| {
+            let mut a = make();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let now = SimTime::from_micros(i * 220);
+                a.report_snr(now, 25.0);
+                let r = a.pick_rate(now);
+                a.report(now, r, i % 7 != 0);
+                black_box(r)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_sim(c: &mut Criterion) {
+    let env = Environment::office();
+    let profile = MotionProfile::half_and_half(SimDuration::from_secs(5), true);
+    let trace = Trace::generate(&env, &profile, SimDuration::from_secs(10), 9);
+    let hints = HintStream::oracle(&profile, SimDuration::from_secs(10), SimDuration::ZERO);
+
+    c.bench_function("sim/udp_10s_trace", |b| {
+        b.iter(|| {
+            let mut a = HintAware::new();
+            black_box(
+                LinkSimulator::new(&trace)
+                    .with_hints(&hints)
+                    .run(&mut a, Workload::Udp),
+            )
+        });
+    });
+
+    c.bench_function("sim/tcp_10s_trace", |b| {
+        b.iter(|| {
+            let mut a = HintAware::new();
+            black_box(
+                LinkSimulator::new(&trace)
+                    .with_hints(&hints)
+                    .run(&mut a, Workload::tcp()),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_channel,
+    bench_sensors,
+    bench_protocols,
+    bench_link_sim
+);
+criterion_main!(benches);

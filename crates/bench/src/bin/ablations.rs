@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (DESIGN.md section 5).
+fn main() {
+    hint_bench::ablations::rapidsample_delta_success();
+    hint_bench::ablations::hint_latency();
+    hint_bench::ablations::prober_hold_down();
+}

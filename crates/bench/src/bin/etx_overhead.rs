@@ -1,0 +1,4 @@
+//! Regenerates the Sec. 4.2 ETX wrong-link analysis.
+fn main() {
+    hint_bench::etx_overhead::run();
+}

@@ -1,0 +1,7 @@
+//! Runs the Sec. 5.3-5.6 extension experiments.
+fn main() {
+    hint_bench::extensions::phy_cyclic_prefix();
+    hint_bench::extensions::phy_frame_cap();
+    hint_bench::extensions::power_saving();
+    hint_bench::extensions::microphone_dynamism();
+}

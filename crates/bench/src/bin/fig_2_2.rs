@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2-2 (jerk over time). `cargo run -p hint-bench --bin fig_2_2`
+fn main() {
+    hint_bench::fig_2_2::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3-1 (conditional loss vs lag).
+fn main() {
+    hint_bench::fig_3_1::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3-5 (mixed-mobility throughput, 3 environments).
+fn main() {
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::MixedMobility, 10);
+}

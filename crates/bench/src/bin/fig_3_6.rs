@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3-6 (mobile throughput).
+fn main() {
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Mobile, 10);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3-7 (static throughput).
+fn main() {
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Static, 10);
+}

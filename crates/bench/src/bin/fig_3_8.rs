@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3-8 (vehicular UDP throughput).
+fn main() {
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Vehicular, 10);
+}

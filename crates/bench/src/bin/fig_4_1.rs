@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4-1 (delivery over time and movement).
+fn main() {
+    hint_bench::fig_4_1::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figs. 4-2/4-3 (error vs probing rate).
+fn main() {
+    hint_bench::fig_4_2_4_3::run(20);
+}

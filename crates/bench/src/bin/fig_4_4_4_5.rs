@@ -1,0 +1,4 @@
+//! Regenerates Figs. 4-4/4-5 (delivery by probing rate over time).
+fn main() {
+    hint_bench::fig_4_4_4_5::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4-6 (adaptive vs fixed probing).
+fn main() {
+    hint_bench::fig_4_6::run();
+}

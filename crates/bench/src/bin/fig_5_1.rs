@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5-1 (two-client AP departure pathology).
+fn main() {
+    hint_bench::fig_5_1::run();
+}

@@ -1,0 +1,4 @@
+//! Runs the route-stability extension experiment.
+fn main() {
+    hint_bench::route_stability::run(5);
+}

@@ -1,0 +1,25 @@
+//! Runs the full experiment battery: every table and figure.
+fn main() {
+    hint_bench::fig_2_2::run();
+    hint_bench::fig_3_1::run();
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::MixedMobility, 10);
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Mobile, 10);
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Static, 10);
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Vehicular, 10);
+    hint_bench::fig_4_1::run();
+    hint_bench::fig_4_2_4_3::run(20);
+    hint_bench::fig_4_4_4_5::run();
+    hint_bench::fig_4_6::run();
+    hint_bench::etx_overhead::run();
+    hint_bench::table_5_1::run(15, 100);
+    hint_bench::route_stability::run(5);
+    hint_bench::fig_5_1::run();
+    hint_bench::ablations::rapidsample_delta_success();
+    hint_bench::ablations::hint_latency();
+    hint_bench::ablations::prober_hold_down();
+    hint_bench::extensions::phy_cyclic_prefix();
+    hint_bench::extensions::phy_frame_cap();
+    hint_bench::extensions::power_saving();
+    hint_bench::extensions::microphone_dynamism();
+    println!("\nAll experiments complete. Paper-vs-measured: see EXPERIMENTS.md");
+}

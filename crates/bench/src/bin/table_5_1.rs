@@ -1,0 +1,4 @@
+//! Regenerates Table 5.1 (15 networks x 100 vehicles).
+fn main() {
+    hint_bench::table_5_1::run(15, 100);
+}

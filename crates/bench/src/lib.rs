@@ -1,0 +1,30 @@
+//! # hint-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation, each exposing a
+//! `run()` that regenerates the result and prints the same rows/series the
+//! paper reports (see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured values). The `src/bin/` wrappers
+//! make each experiment a standalone binary; `run_all` executes the whole
+//! battery.
+//!
+//! Shape, not absolute numbers: the substrate is a synthetic channel, not
+//! the authors' testbed, so each experiment checks *who wins, by roughly
+//! what factor, and where crossovers fall*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig_2_2;
+pub mod fig_3_1;
+pub mod fig_3_x;
+pub mod fig_4_1;
+pub mod fig_4_2_4_3;
+pub mod fig_4_4_4_5;
+pub mod fig_4_6;
+pub mod fig_5_1;
+pub mod etx_overhead;
+pub mod extensions;
+pub mod table_5_1;
+pub mod route_stability;
+pub mod ablations;
+pub mod util;

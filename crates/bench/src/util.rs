@@ -1,0 +1,66 @@
+//! Shared formatting helpers for the experiment binaries.
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Print a simple aligned table: a header row then data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i.min(widths.len() - 1)]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Render a y-over-time series as rows of `t  value  bar`.
+pub fn series(label: &str, points: &[(f64, f64)], y_max: f64, bar_width: usize) {
+    println!("{label}");
+    for &(t, y) in points {
+        let frac = (y / y_max).clamp(0.0, 1.0);
+        let filled = (frac * bar_width as f64).round() as usize;
+        println!(
+            "  {t:7.1}  {y:8.3}  |{}{}|",
+            "#".repeat(filled),
+            " ".repeat(bar_width - filled)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_does_not_panic_on_ragged_rows() {
+        table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn series_clamps() {
+        series("s", &[(0.0, -1.0), (1.0, 99.0)], 10.0, 10);
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-rate packet delivery probability.
+//!
+//! Reception of an 802.11a frame is a steep but not step function of SNR:
+//! a few dB separate "almost always" from "almost never". We model the
+//! success probability of a 1000-byte frame at rate `r` as a logistic
+//! sigmoid centred on the rate's modulation threshold, and scale to other
+//! frame lengths by treating per-kilobyte success as independent:
+//!
+//! ```text
+//! p_1000(snr) = 1 / (1 + exp(-k · (snr − thr_r)))
+//! p_L(snr)    = p_1000(snr)^(L / 1000)
+//! ```
+//!
+//! so short probes (Ch. 4 uses 32-byte probes) survive marginal channels
+//! noticeably better than full data frames — as in practice.
+
+use hint_mac::BitRate;
+
+/// Sigmoid steepness, 1/dB. ~1.1 gives the ≈4 dB 10%→90% transition width
+/// typical of measured 802.11a reception curves.
+pub const SIGMOID_STEEPNESS: f64 = 1.1;
+
+/// Success probability of a 1000-byte frame at `rate` under SNR `snr_db`.
+pub fn success_prob_1000(rate: BitRate, snr_db: f64) -> f64 {
+    let x = SIGMOID_STEEPNESS * (snr_db - rate.snr_threshold_db());
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Success probability of a `bytes`-long frame at `rate` under `snr_db`.
+pub fn success_prob(rate: BitRate, snr_db: f64, bytes: u32) -> f64 {
+    let p = success_prob_1000(rate, snr_db);
+    if bytes == 1000 {
+        return p;
+    }
+    p.powf(f64::from(bytes.max(1)) / 1000.0)
+}
+
+/// The highest rate whose success probability at `snr_db` is at least
+/// `target` for 1000-byte frames — the decision rule of SNR-based
+/// protocols (RBAR, CHARM). Falls back to 6 Mbit/s when even the slowest
+/// rate misses the target.
+pub fn best_rate_for_snr(snr_db: f64, target: f64) -> BitRate {
+    let mut best = BitRate::SLOWEST;
+    for &r in &BitRate::ALL {
+        if success_prob_1000(r, snr_db) >= target {
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_power_at_threshold() {
+        for &r in &BitRate::ALL {
+            let p = success_prob_1000(r, r.snr_threshold_db());
+            assert!((p - 0.5).abs() < 1e-9, "{r}: p {p}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_snr() {
+        for &r in &BitRate::ALL {
+            let mut prev = 0.0;
+            for s in -10..50 {
+                let p = success_prob_1000(r, f64::from(s));
+                assert!(p >= prev, "{r} not monotone at {s} dB");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn faster_rates_need_more_snr() {
+        // At a fixed mid SNR, success decreases with rate.
+        let snr = 15.0;
+        let mut prev = 1.1;
+        for &r in &BitRate::ALL {
+            let p = success_prob_1000(r, snr);
+            assert!(p <= prev, "{r} should be harder than slower rates");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn extremes_saturate() {
+        assert!(success_prob_1000(BitRate::R6, 40.0) > 0.999);
+        assert!(success_prob_1000(BitRate::R54, -10.0) < 1e-9 + 1e-6);
+    }
+
+    #[test]
+    fn short_frames_survive_better_long_frames_worse() {
+        let snr = BitRate::R54.snr_threshold_db(); // p_1000 = 0.5
+        let p_probe = success_prob(BitRate::R54, snr, 32);
+        let p_data = success_prob(BitRate::R54, snr, 1000);
+        let p_jumbo = success_prob(BitRate::R54, snr, 2000);
+        assert!(p_probe > p_data, "probe {p_probe} vs data {p_data}");
+        assert!(p_jumbo < p_data, "jumbo {p_jumbo} vs data {p_data}");
+        assert!((p_probe - 0.5f64.powf(0.032)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_rate_rises_with_snr() {
+        assert_eq!(best_rate_for_snr(-20.0, 0.9), BitRate::R6);
+        assert_eq!(best_rate_for_snr(50.0, 0.9), BitRate::R54);
+        let mut prev = 0usize;
+        for s in -5..45 {
+            let r = best_rate_for_snr(f64::from(s), 0.9);
+            assert!(r.index() >= prev, "best rate not monotone at {s}");
+            prev = r.index();
+        }
+    }
+
+    #[test]
+    fn zero_byte_frame_treated_as_one() {
+        // Guard against pow(0) edge case.
+        let p = success_prob(BitRate::R6, 6.0, 0);
+        assert!(p > 0.99, "tiny frame at threshold: {p}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the channel models.
+
+use hint_channel::delivery::{best_rate_for_snr, success_prob, success_prob_1000};
+use hint_channel::{ChannelModel, Environment, Trace};
+use hint_mac::BitRate;
+use hint_sensors::MotionProfile;
+use hint_sim::{RngStream, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn any_env() -> impl Strategy<Value = Environment> {
+    (0usize..5).prop_map(|i| match i {
+        0 => Environment::office(),
+        1 => Environment::hallway(),
+        2 => Environment::outdoor(),
+        3 => Environment::vehicular(),
+        _ => Environment::mesh_edge(),
+    })
+}
+
+proptest! {
+    /// Delivery probability is a valid probability, monotone in SNR, and
+    /// anti-monotone in rate and packet size.
+    #[test]
+    fn delivery_probability_properties(snr in -30.0f64..50.0, r in 0usize..8, bytes in 1u32..3000) {
+        let rate = BitRate::from_index(r);
+        let p = success_prob(rate, snr, bytes);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Monotone in SNR.
+        prop_assert!(success_prob(rate, snr + 1.0, bytes) >= p - 1e-12);
+        // Anti-monotone in rate.
+        if let Some(faster) = rate.next_faster() {
+            prop_assert!(success_prob(faster, snr, bytes) <= success_prob_1000(rate, snr).powf(f64::from(bytes)/1000.0) + 1e-9);
+        }
+        // Anti-monotone in size.
+        prop_assert!(success_prob(rate, snr, bytes + 100) <= p + 1e-12);
+    }
+
+    /// best_rate_for_snr is monotone in SNR and anti-monotone in target.
+    #[test]
+    fn best_rate_monotone(snr in -10.0f64..45.0, t1 in 0.5f64..0.95, t2 in 0.5f64..0.95) {
+        let r = best_rate_for_snr(snr, t1);
+        prop_assert!(best_rate_for_snr(snr + 2.0, t1).index() >= r.index());
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(best_rate_for_snr(snr, hi).index() <= best_rate_for_snr(snr, lo).index());
+    }
+
+    /// Channel SNR samples are always finite, for every environment and
+    /// motion profile shape.
+    #[test]
+    fn snr_always_finite(env in any_env(), seed in any::<u64>(), walking in any::<bool>()) {
+        let profile = if walking {
+            MotionProfile::walking(SimDuration::from_secs(2), 1.4, 0.0)
+        } else {
+            MotionProfile::stationary(SimDuration::from_secs(2))
+        };
+        let mut ch = ChannelModel::new(env, profile, RngStream::new(seed));
+        for i in 0..100u64 {
+            let snr = ch.snr_at(SimTime::from_micros(i * 20_000));
+            prop_assert!(snr.is_finite(), "SNR {snr} at step {i}");
+            prop_assert!(snr > -60.0 && snr < 80.0, "SNR {snr} implausible");
+        }
+    }
+
+    /// Trace generation invariants: slot count, ground-truth consistency,
+    /// and per-slot fate monotonicity is NOT required (fates are random),
+    /// but overall slower rates must deliver at least as well.
+    #[test]
+    fn trace_invariants(env in any_env(), seed in any::<u64>(), secs in 2u64..8) {
+        let profile = MotionProfile::half_and_half(SimDuration::from_secs(secs), true);
+        let dur = SimDuration::from_secs(secs * 2);
+        let trace = Trace::generate(&env, &profile, dur, seed);
+        prop_assert_eq!(trace.len() as u64, secs * 2 * 200);
+        prop_assert_eq!(trace.duration(), dur);
+        prop_assert!((0.0..0.2).contains(&trace.noise_loss));
+        for (i, slot) in trace.slots.iter().enumerate() {
+            let t = SimTime::from_micros(i as u64 * 5000);
+            prop_assert_eq!(slot.moving, profile.is_moving_at(t));
+            prop_assert!(slot.snr_db.is_finite());
+        }
+        // Statistical: 6 Mbps delivery ≥ 54 Mbps delivery − small slack.
+        let d6 = trace.delivery_ratio(BitRate::R6);
+        let d54 = trace.delivery_ratio(BitRate::R54);
+        prop_assert!(d6 >= d54 - 0.05, "d6 {d6} vs d54 {d54}");
+    }
+
+    /// JSON round-trips preserve every slot bit-for-bit.
+    #[test]
+    fn trace_json_roundtrip(seed in any::<u64>()) {
+        let profile = MotionProfile::walking(SimDuration::from_secs(1), 1.4, 0.0);
+        let trace = Trace::generate(&Environment::office(), &profile, SimDuration::from_secs(1), seed);
+        let back = Trace::from_json(&trace.to_json()).expect("valid json");
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.slots.iter().zip(&back.slots) {
+            prop_assert_eq!(a.fates, b.fates);
+            prop_assert_eq!(a.snr_db, b.snr_db);
+            prop_assert_eq!(a.moving, b.moving);
+        }
+    }
+}

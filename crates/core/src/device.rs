@@ -1,0 +1,259 @@
+//! A complete sensing device: sensors → detectors → hint service → frames.
+//!
+//! [`HintedDevice`] wires the full Ch. 2 pipeline together for one device:
+//! a synthetic accelerometer observing the device's ground-truth motion,
+//! the jerk-based movement detector, heading fusion (compass + gyro), an
+//! optional outdoor GPS, and the [`HintService`] the networking stack
+//! queries. It also produces the outgoing [`HintField`] each frame should
+//! carry (Sec. 2.3).
+
+use crate::hint::Hint;
+use crate::service::HintService;
+use hint_mac::hint_proto::{HintField, HintWire};
+use hint_sensors::accelerometer::{Accelerometer, ACCEL_REPORT_PERIOD};
+use hint_sensors::compass::{Compass, MagneticEnvironment};
+use hint_sensors::fusion::HeadingEstimator;
+use hint_sensors::gps::Gps;
+use hint_sensors::gyro::Gyro;
+use hint_sensors::jerk::MovementDetector;
+use hint_sensors::motion::MotionProfile;
+use hint_sensors::speed::IndoorSpeedEstimator;
+use hint_sim::{RngStream, SimDuration, SimTime};
+
+/// Sensor cadences used by the pipeline.
+const GYRO_PERIOD: SimDuration = SimDuration::from_millis(20);
+const COMPASS_PERIOD: SimDuration = SimDuration::from_secs(1);
+const GPS_PERIOD: SimDuration = SimDuration::from_secs(1);
+
+/// A device running the full sensing pipeline over a motion profile.
+pub struct HintedDevice {
+    profile: MotionProfile,
+    accel: Accelerometer,
+    detector: MovementDetector,
+    /// Indoor speed from accelerometer integration (Sec. 2.2.3); outdoor
+    /// devices prefer the GPS speed, which overwrites this at 1 Hz.
+    speed_est: IndoorSpeedEstimator,
+    compass: Compass,
+    gyro: Gyro,
+    fusion: HeadingEstimator,
+    gps: Option<Gps>,
+    service: HintService,
+    now: SimTime,
+    next_accel: SimTime,
+    next_gyro: SimTime,
+    next_compass: SimTime,
+    next_gps: SimTime,
+}
+
+impl HintedDevice {
+    /// An indoor device (accelerometer + compass + gyro; no GPS lock).
+    pub fn new(profile: MotionProfile, seed: u64) -> Self {
+        Self::build(profile, seed, false)
+    }
+
+    /// An outdoor device (adds 1 Hz GPS fixes with speed/position hints).
+    pub fn outdoor(profile: MotionProfile, seed: u64) -> Self {
+        Self::build(profile, seed, true)
+    }
+
+    fn build(profile: MotionProfile, seed: u64, outdoors: bool) -> Self {
+        let root = RngStream::new(seed);
+        HintedDevice {
+            accel: Accelerometer::new(profile.clone(), root.derive("accel")),
+            detector: MovementDetector::new(),
+            speed_est: IndoorSpeedEstimator::new(),
+            compass: Compass::new(
+                profile.clone(),
+                if outdoors {
+                    MagneticEnvironment::CleanOutdoor
+                } else {
+                    MagneticEnvironment::Indoor
+                },
+                root.derive("compass"),
+            ),
+            gyro: Gyro::new(profile.clone(), root.derive("gyro")),
+            fusion: HeadingEstimator::new(),
+            gps: outdoors.then(|| Gps::outdoor(profile.clone(), root.derive("gps"))),
+            service: HintService::new(),
+            profile,
+            now: SimTime::ZERO,
+            next_accel: SimTime::ZERO,
+            next_gyro: SimTime::ZERO,
+            next_compass: SimTime::ZERO,
+            next_gps: SimTime::ZERO,
+        }
+    }
+
+    /// The device's ground-truth motion (test/diagnostic aid; protocols
+    /// must only consume [`HintedDevice::hints`]).
+    pub fn profile(&self) -> &MotionProfile {
+        &self.profile
+    }
+
+    /// Current simulation time of the pipeline.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run every sensor pipeline forward to time `t`, updating the hint
+    /// service along the way.
+    pub fn advance_to(&mut self, t: SimTime) {
+        while self.next_accel <= t
+            || self.next_gyro <= t
+            || self.next_compass <= t
+            || (self.gps.is_some() && self.next_gps <= t)
+        {
+            // Process the earliest pending sensor event.
+            let mut next = self.next_accel;
+            if self.next_gyro < next {
+                next = self.next_gyro;
+            }
+            if self.next_compass < next {
+                next = self.next_compass;
+            }
+            if self.gps.is_some() && self.next_gps < next {
+                next = self.next_gps;
+            }
+
+            if next == self.next_accel {
+                let report = self.accel.next_report();
+                let sample = self.detector.push(&report);
+                self.service
+                    .publish(report.t, Hint::Movement(sample.moving));
+                // Indoor speed by integration (Sec. 2.2.3). Outdoors the
+                // 1 Hz GPS fix overwrites this with the better estimate.
+                let spd = self.speed_est.push(&report);
+                if self.gps.is_none() {
+                    self.service.publish(report.t, Hint::Speed(spd));
+                }
+                self.next_accel = report.t + ACCEL_REPORT_PERIOD;
+            } else if next == self.next_gyro {
+                let r = self.gyro.read_at(self.next_gyro);
+                self.fusion.update_gyro(&r);
+                if let Some(h) = self.fusion.heading_deg() {
+                    self.service.publish(self.next_gyro, Hint::Heading(h));
+                }
+                self.next_gyro = self.next_gyro + GYRO_PERIOD;
+            } else if next == self.next_compass {
+                let r = self.compass.read_at(self.next_compass);
+                self.fusion.update_compass(&r);
+                if let Some(h) = self.fusion.heading_deg() {
+                    self.service.publish(self.next_compass, Hint::Heading(h));
+                }
+                self.next_compass = self.next_compass + COMPASS_PERIOD;
+            } else {
+                let at = self.next_gps;
+                if let Some(gps) = &mut self.gps {
+                    if let Some(fix) = gps.fix_at(at) {
+                        self.service.publish(at, Hint::Speed(fix.speed_mps));
+                        self.service.publish(at, Hint::Position(fix.position));
+                    }
+                }
+                self.next_gps = at + GPS_PERIOD;
+            }
+            self.now = next;
+        }
+        self.now = t;
+    }
+
+    /// The hint service (stack-facing query interface).
+    pub fn service(&self) -> &HintService {
+        &self.service
+    }
+
+    /// Snapshot of all current hints.
+    pub fn hints(&self) -> hint_sensors::hints::MobilityHints {
+        self.service.snapshot()
+    }
+
+    /// The hint field outgoing frames should carry right now: the
+    /// movement bit always (it is free), plus the movement TLV.
+    pub fn outgoing_hint_field(&self) -> HintField {
+        HintField::with_tlv(HintWire::Movement(self.service.is_moving()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_tracks_motion_end_to_end() {
+        let profile = MotionProfile::static_move_static(
+            SimDuration::from_secs(4),
+            SimDuration::from_secs(4),
+            SimDuration::from_secs(4),
+        );
+        let mut dev = HintedDevice::new(profile, 7);
+        dev.advance_to(SimTime::from_secs(2));
+        assert!(!dev.hints().is_moving(), "static at 2 s");
+        dev.advance_to(SimTime::from_secs(6));
+        assert!(dev.hints().is_moving(), "moving at 6 s");
+        dev.advance_to(SimTime::from_secs(11));
+        assert!(!dev.hints().is_moving(), "static again at 11 s");
+    }
+
+    #[test]
+    fn heading_hint_converges_to_truth() {
+        let profile = MotionProfile::walking(SimDuration::from_secs(60), 1.4, 135.0);
+        let mut dev = HintedDevice::new(profile, 9);
+        dev.advance_to(SimTime::from_secs(60));
+        let h = dev.hints().heading.expect("heading available");
+        let err = h.difference(hint_sensors::HeadingHint::new(135.0));
+        assert!(err < 15.0, "heading error {err:.1}°");
+    }
+
+    #[test]
+    fn outdoor_device_gets_speed_and_position() {
+        let profile = MotionProfile::vehicle(SimDuration::from_secs(30), 10.0, 90.0);
+        let mut dev = HintedDevice::outdoor(profile, 11);
+        dev.advance_to(SimTime::from_secs(30));
+        let hints = dev.hints();
+        let speed = hints.speed.expect("speed hint").mps();
+        assert!((speed - 10.0).abs() < 2.0, "speed {speed}");
+        let pos = hints.position.expect("position hint").0;
+        assert!(pos.x > 200.0, "travelled east: {}", pos.x);
+    }
+
+    #[test]
+    fn indoor_device_estimates_speed_without_gps() {
+        let profile = MotionProfile::walking(SimDuration::from_secs(20), 1.4, 0.0);
+        let mut dev = HintedDevice::new(profile, 13);
+        dev.advance_to(SimTime::from_secs(20));
+        // Speed comes from accelerometer integration: walking-band value,
+        // no position (WiFi localization is a separate opt-in pipeline).
+        let speed = dev.hints().speed.expect("indoor speed hint").mps();
+        assert!((0.2..3.0).contains(&speed), "indoor speed {speed:.2}");
+        assert!(dev.hints().position.is_none());
+    }
+
+    #[test]
+    fn indoor_static_device_reports_near_zero_speed() {
+        let profile = MotionProfile::stationary(SimDuration::from_secs(10));
+        let mut dev = HintedDevice::new(profile, 19);
+        dev.advance_to(SimTime::from_secs(10));
+        let speed = dev.hints().speed.expect("indoor speed hint").mps();
+        assert!(speed < 0.15, "static speed {speed:.2}");
+    }
+
+    #[test]
+    fn outgoing_field_mirrors_movement() {
+        let profile = MotionProfile::walking(SimDuration::from_secs(10), 1.4, 0.0);
+        let mut dev = HintedDevice::new(profile, 15);
+        dev.advance_to(SimTime::from_secs(5));
+        let f = dev.outgoing_hint_field();
+        assert_eq!(f.movement_hint(), Some(true));
+        assert_eq!(f.wire_overhead_bytes(), 2);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let profile = MotionProfile::stationary(SimDuration::from_secs(5));
+        let mut dev = HintedDevice::new(profile, 17);
+        dev.advance_to(SimTime::from_secs(3));
+        let snap = dev.hints();
+        dev.advance_to(SimTime::from_secs(3));
+        assert_eq!(dev.hints(), snap);
+        assert_eq!(dev.now(), SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,262 @@
+//! Movement-based power saving (Sec. 5.4).
+//!
+//! "If a client node fails to find an access point for association and it
+//! receives a hint that it is not moving, it can power down its radio
+//! until it next receives a movement hint. Similarly, if it receives a
+//! speed hint that it is moving too fast for useful WiFi communication,
+//! it can power down the radio until its speed decreases."
+//!
+//! The policy is a small state machine over the radio's power states; the
+//! energy model uses representative 802.11 client powers so the
+//! hint-aware policy's savings can be quantified against periodic
+//! scanning.
+
+use hint_sensors::hints::MobilityHints;
+use hint_sim::{SimDuration, SimTime};
+
+/// Radio power states with representative draw (milliwatts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RadioState {
+    /// Radio powered down (hint-triggered).
+    Sleep,
+    /// Radio on, associated or idle-listening.
+    Idle,
+    /// Actively scanning for APs.
+    Scanning,
+}
+
+impl RadioState {
+    /// Representative power draw, mW (typical 802.11 client figures).
+    pub fn power_mw(self) -> f64 {
+        match self {
+            RadioState::Sleep => 10.0,
+            RadioState::Idle => 740.0,
+            RadioState::Scanning => 1100.0,
+        }
+    }
+}
+
+/// Scan/sleep policies under comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PowerPolicy {
+    /// Hint-oblivious: scan every `scan_interval` whenever unassociated.
+    PeriodicScan {
+        /// Time between scans.
+        scan_interval: SimDuration,
+    },
+    /// Sec. 5.4: sleep while unassociated and not moving; sleep while
+    /// moving faster than `max_useful_speed_mps`; otherwise scan
+    /// periodically.
+    HintAware {
+        /// Time between scans while a scan could plausibly succeed.
+        scan_interval: SimDuration,
+        /// Above this speed, WiFi is useless — sleep (m/s).
+        max_useful_speed_mps: f64,
+    },
+}
+
+/// One decision step's outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerStep {
+    /// The radio state chosen for this interval.
+    pub state: RadioState,
+    /// Whether a scan was initiated at the start of the interval.
+    pub scanned: bool,
+}
+
+/// The power-policy state machine. Drive it with fixed ticks.
+#[derive(Clone, Debug)]
+pub struct PowerManager {
+    policy: PowerPolicy,
+    next_scan: SimTime,
+    /// Total energy consumed so far, millijoules.
+    energy_mj: f64,
+    /// Total scans initiated.
+    scans: u64,
+}
+
+impl PowerManager {
+    /// Manager starting at time zero with no energy consumed.
+    pub fn new(policy: PowerPolicy) -> Self {
+        PowerManager {
+            policy,
+            next_scan: SimTime::ZERO,
+            energy_mj: 0.0,
+            scans: 0,
+        }
+    }
+
+    /// Decide the radio state for the tick `[now, now + dt)` given the
+    /// current hints and association status, charging energy accordingly.
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        dt: SimDuration,
+        hints: &MobilityHints,
+        associated: bool,
+    ) -> PowerStep {
+        let (state, scanned) = if associated {
+            (RadioState::Idle, false)
+        } else {
+            match self.policy {
+                PowerPolicy::PeriodicScan { scan_interval } => {
+                    if now >= self.next_scan {
+                        self.next_scan = now + scan_interval;
+                        self.scans += 1;
+                        (RadioState::Scanning, true)
+                    } else {
+                        (RadioState::Idle, false)
+                    }
+                }
+                PowerPolicy::HintAware {
+                    scan_interval,
+                    max_useful_speed_mps,
+                } => {
+                    let moving = hints.is_moving();
+                    let too_fast = hints
+                        .speed
+                        .map(|s| s.mps() > max_useful_speed_mps)
+                        .unwrap_or(false);
+                    if !moving || too_fast {
+                        // Static with no AP in sight, or blasting down the
+                        // highway: nothing a scan could change — sleep.
+                        (RadioState::Sleep, false)
+                    } else if now >= self.next_scan {
+                        self.next_scan = now + scan_interval;
+                        self.scans += 1;
+                        (RadioState::Scanning, true)
+                    } else {
+                        (RadioState::Idle, false)
+                    }
+                }
+            }
+        };
+        self.energy_mj += state.power_mw() * dt.as_secs_f64();
+        PowerStep { state, scanned }
+    }
+
+    /// Total energy consumed, millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy_mj
+    }
+
+    /// Total scans initiated.
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_sensors::hints::SpeedHint;
+
+    fn hints(moving: bool, speed: Option<f64>) -> MobilityHints {
+        let mut h = MobilityHints::movement_only(moving);
+        h.speed = speed.map(SpeedHint::new);
+        h
+    }
+
+    const TICK: SimDuration = SimDuration::from_millis(100);
+
+    fn run(policy: PowerPolicy, secs: u64, h: MobilityHints, associated: bool) -> PowerManager {
+        let mut pm = PowerManager::new(policy);
+        for i in 0..(secs * 10) {
+            pm.step(SimTime::from_micros(i * 100_000), TICK, &h, associated);
+        }
+        pm
+    }
+
+    #[test]
+    fn associated_radio_idles_regardless_of_policy() {
+        let mut pm = PowerManager::new(PowerPolicy::HintAware {
+            scan_interval: SimDuration::from_secs(10),
+            max_useful_speed_mps: 10.0,
+        });
+        let s = pm.step(SimTime::ZERO, TICK, &hints(false, None), true);
+        assert_eq!(s.state, RadioState::Idle);
+        assert!(!s.scanned);
+    }
+
+    #[test]
+    fn static_unassociated_hint_aware_sleeps() {
+        let hint_pm = run(
+            PowerPolicy::HintAware {
+                scan_interval: SimDuration::from_secs(10),
+                max_useful_speed_mps: 10.0,
+            },
+            600,
+            hints(false, None),
+            false,
+        );
+        let periodic_pm = run(
+            PowerPolicy::PeriodicScan {
+                scan_interval: SimDuration::from_secs(10),
+            },
+            600,
+            hints(false, None),
+            false,
+        );
+        // Sec. 5.4's saving: sleeping at 10 mW vs idling/scanning at
+        // 740+ mW is a >10x energy cut.
+        assert!(
+            hint_pm.energy_mj() * 10.0 < periodic_pm.energy_mj(),
+            "hint {:.0} mJ vs periodic {:.0} mJ",
+            hint_pm.energy_mj(),
+            periodic_pm.energy_mj()
+        );
+        assert_eq!(hint_pm.scans(), 0, "no scans while static");
+        assert!(periodic_pm.scans() >= 59);
+    }
+
+    #[test]
+    fn movement_wakes_the_radio() {
+        let mut pm = PowerManager::new(PowerPolicy::HintAware {
+            scan_interval: SimDuration::from_secs(10),
+            max_useful_speed_mps: 10.0,
+        });
+        let s = pm.step(SimTime::ZERO, TICK, &hints(false, None), false);
+        assert_eq!(s.state, RadioState::Sleep);
+        let s = pm.step(
+            SimTime::from_millis(100),
+            TICK,
+            &hints(true, Some(1.4)),
+            false,
+        );
+        assert_eq!(s.state, RadioState::Scanning);
+        assert!(s.scanned);
+    }
+
+    #[test]
+    fn highway_speed_sleeps_despite_movement() {
+        let mut pm = PowerManager::new(PowerPolicy::HintAware {
+            scan_interval: SimDuration::from_secs(10),
+            max_useful_speed_mps: 10.0,
+        });
+        let s = pm.step(SimTime::ZERO, TICK, &hints(true, Some(30.0)), false);
+        assert_eq!(s.state, RadioState::Sleep);
+        // Slowing down re-enables scanning.
+        let s = pm.step(
+            SimTime::from_millis(100),
+            TICK,
+            &hints(true, Some(3.0)),
+            false,
+        );
+        assert_eq!(s.state, RadioState::Scanning);
+    }
+
+    #[test]
+    fn scan_cadence_respected_while_walking() {
+        let pm = run(
+            PowerPolicy::HintAware {
+                scan_interval: SimDuration::from_secs(10),
+                max_useful_speed_mps: 10.0,
+            },
+            100,
+            hints(true, Some(1.4)),
+            false,
+        );
+        // 100 s at one scan per 10 s.
+        assert!((9..=11).contains(&pm.scans()), "scans {}", pm.scans());
+    }
+}

@@ -1,0 +1,181 @@
+//! The device-local hint service.
+//!
+//! "When queried, the movement hint service returns the most recently
+//! calculated hint value" (Sec. 2.2.1). The service is the stack-facing
+//! cache of the sensor pipelines' latest outputs, one slot per hint kind,
+//! each stamped with its update time so consumers can ignore stale hints.
+
+use crate::hint::{Hint, HintKind};
+use hint_sensors::hints::MobilityHints;
+use hint_sensors::{HeadingHint, MovementHint, PositionHint, SpeedHint};
+use hint_sim::{SimDuration, SimTime};
+
+/// One cached hint with its update timestamp.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimedHint {
+    /// The hint value.
+    pub hint: Hint,
+    /// When the pipeline last updated it.
+    pub updated_at: SimTime,
+}
+
+/// The hint service: latest value per hint kind.
+#[derive(Clone, Debug, Default)]
+pub struct HintService {
+    movement: Option<TimedHint>,
+    heading: Option<TimedHint>,
+    speed: Option<TimedHint>,
+    position: Option<TimedHint>,
+}
+
+impl HintService {
+    /// A service with no hints yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a new hint value at time `now`.
+    pub fn publish(&mut self, now: SimTime, hint: Hint) {
+        let slot = match hint.kind() {
+            HintKind::Movement => &mut self.movement,
+            HintKind::Heading => &mut self.heading,
+            HintKind::Speed => &mut self.speed,
+            HintKind::Position => &mut self.position,
+        };
+        *slot = Some(TimedHint {
+            hint,
+            updated_at: now,
+        });
+    }
+
+    /// The most recent hint of `kind`, if any.
+    pub fn query(&self, kind: HintKind) -> Option<TimedHint> {
+        match kind {
+            HintKind::Movement => self.movement,
+            HintKind::Heading => self.heading,
+            HintKind::Speed => self.speed,
+            HintKind::Position => self.position,
+        }
+    }
+
+    /// Like [`HintService::query`], but only if updated within `max_age`
+    /// of `now` — consumers of fast-changing hints (movement, heading)
+    /// should not act on stale values.
+    pub fn query_fresh(
+        &self,
+        kind: HintKind,
+        now: SimTime,
+        max_age: SimDuration,
+    ) -> Option<TimedHint> {
+        self.query(kind)
+            .filter(|t| now.saturating_since(t.updated_at) <= max_age)
+    }
+
+    /// The movement hint as a plain bool (`false` when absent — a device
+    /// with no movement pipeline behaves as static, matching `H_0 = 0`).
+    pub fn is_moving(&self) -> bool {
+        matches!(
+            self.movement,
+            Some(TimedHint {
+                hint: Hint::Movement(true),
+                ..
+            })
+        )
+    }
+
+    /// Snapshot as the sensor-layer [`MobilityHints`] bundle.
+    pub fn snapshot(&self) -> MobilityHints {
+        MobilityHints {
+            movement: match self.movement {
+                Some(TimedHint {
+                    hint: Hint::Movement(m),
+                    ..
+                }) => Some(MovementHint(m)),
+                _ => None,
+            },
+            heading: match self.heading {
+                Some(TimedHint {
+                    hint: Hint::Heading(h),
+                    ..
+                }) => Some(HeadingHint::new(h)),
+                _ => None,
+            },
+            speed: match self.speed {
+                Some(TimedHint {
+                    hint: Hint::Speed(s),
+                    ..
+                }) => Some(SpeedHint::new(s)),
+                _ => None,
+            },
+            position: match self.position {
+                Some(TimedHint {
+                    hint: Hint::Position(p),
+                    ..
+                }) => Some(PositionHint(p)),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_query() {
+        let mut s = HintService::new();
+        assert_eq!(s.query(HintKind::Movement), None);
+        assert!(!s.is_moving());
+        s.publish(SimTime::from_secs(1), Hint::Movement(true));
+        assert!(s.is_moving());
+        let t = s.query(HintKind::Movement).unwrap();
+        assert_eq!(t.updated_at, SimTime::from_secs(1));
+        // Newer value replaces.
+        s.publish(SimTime::from_secs(2), Hint::Movement(false));
+        assert!(!s.is_moving());
+    }
+
+    #[test]
+    fn freshness_filter() {
+        let mut s = HintService::new();
+        s.publish(SimTime::from_secs(1), Hint::Heading(90.0));
+        assert!(s
+            .query_fresh(HintKind::Heading, SimTime::from_secs(2), SimDuration::from_secs(5))
+            .is_some());
+        assert!(s
+            .query_fresh(HintKind::Heading, SimTime::from_secs(10), SimDuration::from_secs(5))
+            .is_none());
+    }
+
+    #[test]
+    fn snapshot_collects_all_kinds() {
+        let mut s = HintService::new();
+        let snap = s.snapshot();
+        assert!(snap.movement.is_none() && snap.heading.is_none());
+        s.publish(SimTime::ZERO, Hint::Movement(true));
+        s.publish(SimTime::ZERO, Hint::Heading(45.0));
+        s.publish(SimTime::ZERO, Hint::Speed(1.4));
+        let snap = s.snapshot();
+        assert!(snap.is_moving());
+        assert_eq!(snap.heading.unwrap().degrees(), 45.0);
+        assert_eq!(snap.speed.unwrap().mps(), 1.4);
+        assert!(snap.position.is_none());
+    }
+
+    #[test]
+    fn kinds_are_independent_slots() {
+        let mut s = HintService::new();
+        s.publish(SimTime::ZERO, Hint::Movement(true));
+        s.publish(SimTime::from_secs(1), Hint::Speed(2.0));
+        assert!(s.is_moving());
+        assert_eq!(
+            s.query(HintKind::Movement).unwrap().updated_at,
+            SimTime::ZERO
+        );
+        assert_eq!(
+            s.query(HintKind::Speed).unwrap().updated_at,
+            SimTime::from_secs(1)
+        );
+    }
+}

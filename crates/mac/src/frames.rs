@@ -1,0 +1,118 @@
+//! The frame model exchanged in simulations.
+//!
+//! Frames are deliberately abstract — the simulators care about kind,
+//! payload size (for airtime) and the attached [`HintField`] (for the hint
+//! protocol), not about full 802.11 header layouts.
+
+use crate::hint_proto::HintField;
+use crate::rates::BitRate;
+use serde::{Deserialize, Serialize};
+
+/// Frame kinds used by the protocols in this reproduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// A data frame carrying higher-layer payload.
+    Data,
+    /// A link-layer acknowledgement.
+    Ack,
+    /// A topology-maintenance probe (Ch. 4).
+    Probe,
+    /// A dedicated short hint frame, recognised only by hint-protocol
+    /// nodes (Sec. 2.3's fallback when a node has no data to send).
+    Hint,
+}
+
+/// A frame in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// What kind of frame this is.
+    pub kind: FrameKind,
+    /// Higher-layer payload bytes (0 for ACK/probe/hint frames).
+    pub payload_bytes: u32,
+    /// The PHY rate this frame is sent at.
+    pub rate: BitRate,
+    /// Hints carried by this frame (empty for legacy nodes).
+    pub hints: HintField,
+}
+
+impl Frame {
+    /// A 1000-byte data frame — the paper's standard workload unit.
+    pub fn data_1000(rate: BitRate) -> Self {
+        Frame {
+            kind: FrameKind::Data,
+            payload_bytes: 1000,
+            rate,
+            hints: HintField::legacy(),
+        }
+    }
+
+    /// A data frame with explicit payload size.
+    pub fn data(rate: BitRate, payload_bytes: u32) -> Self {
+        Frame {
+            kind: FrameKind::Data,
+            payload_bytes,
+            rate,
+            hints: HintField::legacy(),
+        }
+    }
+
+    /// A topology probe (small frame, Ch. 4 sends these at 6 Mbit/s).
+    pub fn probe(rate: BitRate) -> Self {
+        Frame {
+            kind: FrameKind::Probe,
+            payload_bytes: 32,
+            rate,
+            hints: HintField::legacy(),
+        }
+    }
+
+    /// A dedicated hint frame.
+    pub fn hint_frame(rate: BitRate, hints: HintField) -> Self {
+        Frame {
+            kind: FrameKind::Hint,
+            payload_bytes: 0,
+            rate,
+            hints,
+        }
+    }
+
+    /// Attach hints to this frame (piggy-backing).
+    pub fn with_hints(mut self, hints: HintField) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// Bytes this frame occupies beyond the MAC baseline: payload plus any
+    /// TLV hint overhead.
+    pub fn body_bytes(&self) -> u32 {
+        self.payload_bytes + self.hints.wire_overhead_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hint_proto::HintWire;
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(Frame::data_1000(BitRate::R54).kind, FrameKind::Data);
+        assert_eq!(Frame::data_1000(BitRate::R54).payload_bytes, 1000);
+        assert_eq!(Frame::probe(BitRate::R6).kind, FrameKind::Probe);
+        assert_eq!(
+            Frame::hint_frame(BitRate::R6, HintField::movement(true)).kind,
+            FrameKind::Hint
+        );
+    }
+
+    #[test]
+    fn hint_overhead_counts_in_body() {
+        let f = Frame::data_1000(BitRate::R54);
+        assert_eq!(f.body_bytes(), 1000);
+        let f = f.with_hints(HintField::with_tlv(HintWire::Heading(45.0)));
+        assert_eq!(f.body_bytes(), 1002);
+        // Movement-bit-only hints are free.
+        let f = Frame::data_1000(BitRate::R54).with_hints(HintField::movement(true));
+        assert_eq!(f.body_bytes(), 1000);
+    }
+}

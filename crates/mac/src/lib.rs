@@ -1,0 +1,37 @@
+//! # hint-mac — 802.11a link layer and the hint wire protocol
+//!
+//! The paper's experiments run over 802.11a: a sender cycling 1000-byte
+//! packets through the eight OFDM bit rates, link-layer ACKs deciding
+//! success, and the **Hint Protocol** (Sec. 2.3) carrying sensor hints in
+//! otherwise-unused frame bits or a two-byte `(hintType, hintVal)` field.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`rates`] — the eight 802.11a OFDM bit rates with their modulation
+//!   parameters and packet-reception SNR thresholds.
+//! * [`timing`] — exact PHY/MAC airtime arithmetic (preamble, OFDM symbol
+//!   packing, SIFS/DIFS, contention backoff, ACK exchanges) used by the
+//!   throughput simulators.
+//! * [`frames`] — the frame model exchanged in simulations.
+//! * [`hint_proto`] — the over-the-air hint encoding: a movement bit
+//!   stuffed into ACK flags and the general two-byte TLV hint field, with
+//!   graceful coexistence with hint-oblivious legacy nodes.
+//! * [`retry`] — the retry-chain policy used by the AP model.
+//! * [`phy_adapt`] — hint-driven PHY parameter adaptation (Sec. 5.3):
+//!   cyclic-prefix selection from the GPS-lock hint and frame-size capping
+//!   from the speed hint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frames;
+pub mod hint_proto;
+pub mod phy_adapt;
+pub mod rates;
+pub mod retry;
+pub mod timing;
+
+pub use frames::{Frame, FrameKind};
+pub use hint_proto::{HintField, HintType, HintWire};
+pub use rates::BitRate;
+pub use timing::MacTiming;

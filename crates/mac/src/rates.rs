@@ -1,0 +1,176 @@
+//! The 802.11a OFDM bit rates.
+//!
+//! The paper's sender cycles "through the 802.11a OFDM bit rates 6, 9, 12,
+//! 18, 24, 36, 48, 54" (Sec. 3.3). Each rate is a modulation/coding pair
+//! with a characteristic data-bits-per-symbol count (used for airtime) and
+//! a packet-reception SNR threshold (used by the channel model and by the
+//! SNR-based protocols RBAR and CHARM).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the eight 802.11a OFDM bit rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BitRate {
+    R6,
+    R9,
+    R12,
+    R18,
+    R24,
+    R36,
+    R48,
+    R54,
+}
+
+impl BitRate {
+    /// All rates, slowest to fastest. Index into this array is the
+    /// canonical *bit-rate index* used by the adaptation protocols.
+    pub const ALL: [BitRate; 8] = [
+        BitRate::R6,
+        BitRate::R9,
+        BitRate::R12,
+        BitRate::R18,
+        BitRate::R24,
+        BitRate::R36,
+        BitRate::R48,
+        BitRate::R54,
+    ];
+
+    /// Number of distinct rates.
+    pub const COUNT: usize = 8;
+
+    /// The slowest rate (6 Mbit/s).
+    pub const SLOWEST: BitRate = BitRate::R6;
+
+    /// The fastest rate (54 Mbit/s).
+    pub const FASTEST: BitRate = BitRate::R54;
+
+    /// Canonical index, 0 (6 Mbit/s) through 7 (54 Mbit/s).
+    pub const fn index(self) -> usize {
+        match self {
+            BitRate::R6 => 0,
+            BitRate::R9 => 1,
+            BitRate::R12 => 2,
+            BitRate::R18 => 3,
+            BitRate::R24 => 4,
+            BitRate::R36 => 5,
+            BitRate::R48 => 6,
+            BitRate::R54 => 7,
+        }
+    }
+
+    /// Rate from its canonical index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 8` (indices come from protocol state machines
+    /// whose arithmetic is already bounds-checked).
+    pub fn from_index(idx: usize) -> BitRate {
+        BitRate::ALL[idx]
+    }
+
+    /// Nominal data rate in Mbit/s.
+    pub const fn mbps(self) -> f64 {
+        match self {
+            BitRate::R6 => 6.0,
+            BitRate::R9 => 9.0,
+            BitRate::R12 => 12.0,
+            BitRate::R18 => 18.0,
+            BitRate::R24 => 24.0,
+            BitRate::R36 => 36.0,
+            BitRate::R48 => 48.0,
+            BitRate::R54 => 54.0,
+        }
+    }
+
+    /// Data bits carried per 4 µs OFDM symbol (N_DBPS from the standard).
+    pub const fn bits_per_symbol(self) -> u32 {
+        match self {
+            BitRate::R6 => 24,
+            BitRate::R9 => 36,
+            BitRate::R12 => 48,
+            BitRate::R18 => 72,
+            BitRate::R24 => 96,
+            BitRate::R36 => 144,
+            BitRate::R48 => 192,
+            BitRate::R54 => 216,
+        }
+    }
+
+    /// Approximate SNR required for ~50% reception of a 1000-byte frame,
+    /// in dB. Standard-practice thresholds for 802.11a modulations; the
+    /// channel model centres its per-rate success sigmoid here.
+    pub const fn snr_threshold_db(self) -> f64 {
+        match self {
+            BitRate::R6 => 6.0,   // BPSK 1/2
+            BitRate::R9 => 7.8,   // BPSK 3/4
+            BitRate::R12 => 9.0,  // QPSK 1/2
+            BitRate::R18 => 10.8, // QPSK 3/4
+            BitRate::R24 => 14.0, // 16-QAM 1/2
+            BitRate::R36 => 17.5, // 16-QAM 3/4
+            BitRate::R48 => 21.5, // 64-QAM 2/3
+            BitRate::R54 => 23.0, // 64-QAM 3/4
+        }
+    }
+
+    /// The next slower rate, or `None` at 6 Mbit/s.
+    pub fn next_slower(self) -> Option<BitRate> {
+        self.index().checked_sub(1).map(BitRate::from_index)
+    }
+
+    /// The next faster rate, or `None` at 54 Mbit/s.
+    pub fn next_faster(self) -> Option<BitRate> {
+        let i = self.index() + 1;
+        (i < Self::COUNT).then(|| BitRate::from_index(i))
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Mbps", self.mbps() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for (i, &r) in BitRate::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(BitRate::from_index(i), r);
+        }
+    }
+
+    #[test]
+    fn rates_strictly_increase() {
+        for w in BitRate::ALL.windows(2) {
+            assert!(w[0].mbps() < w[1].mbps());
+            assert!(w[0].bits_per_symbol() < w[1].bits_per_symbol());
+            assert!(w[0].snr_threshold_db() < w[1].snr_threshold_db());
+        }
+    }
+
+    #[test]
+    fn bits_per_symbol_matches_mbps() {
+        // N_DBPS / 4 µs symbol = Mbit/s exactly for 802.11a.
+        for &r in &BitRate::ALL {
+            assert_eq!(r.bits_per_symbol() as f64 / 4.0, r.mbps());
+        }
+    }
+
+    #[test]
+    fn neighbours() {
+        assert_eq!(BitRate::R6.next_slower(), None);
+        assert_eq!(BitRate::R54.next_faster(), None);
+        assert_eq!(BitRate::R6.next_faster(), Some(BitRate::R9));
+        assert_eq!(BitRate::R54.next_slower(), Some(BitRate::R48));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(BitRate::R54.to_string(), "54Mbps");
+        assert_eq!(BitRate::R6.to_string(), "6Mbps");
+    }
+}

@@ -1,0 +1,81 @@
+//! Link-layer retry policy.
+//!
+//! The Fig. 5-1 pathology is driven by retries: an AP re-sends un-ACKed
+//! frames several times (dropping its rate along the way) before giving
+//! up, so a departed client burns enormous airtime. This module models the
+//! retry chain as a policy object the AP and link simulators share.
+
+use crate::rates::BitRate;
+
+/// A retry-chain policy: how many attempts a frame gets and at what rate
+/// each attempt goes out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum transmission attempts per frame (first try + retries).
+    /// 802.11's default long-retry limit is 4 attempts for large frames;
+    /// commercial APs often use 7 or more.
+    pub max_attempts: u32,
+    /// Whether each retry steps the rate down one notch (common driver
+    /// behaviour, and what drives the Fig. 5-1 rate collapse).
+    pub step_down_on_retry: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            step_down_on_retry: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The rate to use for attempt number `attempt` (0-based) of a frame
+    /// whose first attempt went at `initial`.
+    pub fn rate_for_attempt(&self, initial: BitRate, attempt: u32) -> BitRate {
+        if !self.step_down_on_retry {
+            return initial;
+        }
+        let idx = initial.index().saturating_sub(attempt as usize);
+        BitRate::from_index(idx)
+    }
+
+    /// True if a frame that has already made `attempts` attempts may try
+    /// again.
+    pub fn may_retry(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_steps_down() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.rate_for_attempt(BitRate::R54, 0), BitRate::R54);
+        assert_eq!(p.rate_for_attempt(BitRate::R54, 1), BitRate::R48);
+        assert_eq!(p.rate_for_attempt(BitRate::R54, 3), BitRate::R24);
+        // Clamps at the slowest rate.
+        assert_eq!(p.rate_for_attempt(BitRate::R9, 5), BitRate::R6);
+    }
+
+    #[test]
+    fn fixed_rate_policy_holds() {
+        let p = RetryPolicy {
+            max_attempts: 7,
+            step_down_on_retry: false,
+        };
+        assert_eq!(p.rate_for_attempt(BitRate::R54, 6), BitRate::R54);
+    }
+
+    #[test]
+    fn retry_budget() {
+        let p = RetryPolicy::default();
+        assert!(p.may_retry(0));
+        assert!(p.may_retry(3));
+        assert!(!p.may_retry(4));
+        assert!(!p.may_retry(100));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the MAC layer and hint wire protocol.
+
+use hint_mac::hint_proto::{HintField, HintWire};
+use hint_mac::retry::RetryPolicy;
+use hint_mac::{BitRate, MacTiming};
+use proptest::prelude::*;
+
+proptest! {
+    /// Decoding never panics on arbitrary bytes, and everything that
+    /// decodes re-encodes to the same bytes (canonical wire form).
+    #[test]
+    fn decode_total_and_canonical(b0 in any::<u8>(), b1 in any::<u8>()) {
+        if let Some(hint) = HintWire::decode([b0, b1]) {
+            let re = hint.encode();
+            prop_assert_eq!(re, [b0, b1], "decode/encode not canonical");
+        }
+    }
+
+    /// Encoding any movement/speed hint always decodes back to the same
+    /// variant, with bounded quantisation error.
+    #[test]
+    fn encode_roundtrip_bounded_error(heading in -720.0f64..720.0, speed in 0.0f64..200.0) {
+        let h = HintWire::Heading(heading);
+        if let Some(HintWire::Heading(back)) = HintWire::decode(h.encode()) {
+            let norm = heading.rem_euclid(360.0);
+            let err = (back - norm).abs().min(360.0 - (back - norm).abs());
+            prop_assert!(err <= 1.0 + 1e-9, "heading {heading} err {err}");
+        } else {
+            prop_assert!(false, "heading failed to roundtrip");
+        }
+        let s = HintWire::Speed(speed);
+        if let Some(HintWire::Speed(back)) = HintWire::decode(s.encode()) {
+            prop_assert!((back - speed.min(127.5)).abs() <= 0.25 + 1e-9);
+        } else {
+            prop_assert!(false, "speed failed to roundtrip");
+        }
+    }
+
+    /// Airtime is monotone: more payload never takes less time; faster
+    /// rates never take more time for the same payload.
+    #[test]
+    fn airtime_monotone(bytes_a in 0u32..3000, bytes_b in 0u32..3000, r in 0usize..8) {
+        let t = MacTiming::ieee80211a();
+        let rate = BitRate::from_index(r);
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(t.data_airtime(rate, lo) <= t.data_airtime(rate, hi));
+        if let Some(faster) = rate.next_faster() {
+            prop_assert!(t.data_airtime(faster, bytes_a) <= t.data_airtime(rate, bytes_a));
+        }
+    }
+
+    /// The retry chain never goes *up* in rate and never exceeds the
+    /// retry budget's semantics.
+    #[test]
+    fn retry_chain_monotone(initial in 0usize..8, attempts in 0u32..12) {
+        let p = RetryPolicy::default();
+        let r0 = BitRate::from_index(initial);
+        let mut prev = r0;
+        for k in 0..attempts {
+            let r = p.rate_for_attempt(r0, k);
+            prop_assert!(r.index() <= prev.index() || k == 0);
+            prev = r;
+        }
+        prop_assert_eq!(p.may_retry(attempts), attempts < p.max_attempts);
+    }
+
+    /// HintField wire overhead is exactly 2 bytes iff a TLV rides along.
+    #[test]
+    fn hint_field_overhead(moving in any::<bool>(), use_tlv in any::<bool>(), deg in 0.0f64..360.0) {
+        let f = if use_tlv {
+            HintField::with_tlv(HintWire::Heading(deg))
+        } else {
+            HintField::movement(moving)
+        };
+        prop_assert_eq!(f.wire_overhead_bytes(), if use_tlv { 2 } else { 0 });
+    }
+
+    /// Exchange airtime = data + SIFS + ACK, always, for any payload/rate.
+    #[test]
+    fn exchange_decomposition(bytes in 0u32..3000, r in 0usize..8) {
+        let t = MacTiming::ieee80211a();
+        let rate = BitRate::from_index(r);
+        let total = t.exchange_airtime(rate, bytes);
+        let parts = t.data_airtime(rate, bytes) + t.sifs + t.ack_airtime(rate);
+        prop_assert_eq!(total, parts);
+    }
+}

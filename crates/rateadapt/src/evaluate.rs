@@ -1,0 +1,360 @@
+//! Multi-trace, multi-protocol evaluation — the machinery behind
+//! Figs. 3-5, 3-6, 3-7 and 3-8.
+//!
+//! Each figure is a set of environments × protocols, scored as mean
+//! throughput (with 95% CI) over 10–20 independent traces, normalised to a
+//! reference protocol (the hint-aware protocol in Fig. 3-5; RapidSample in
+//! Figs. 3-6..3-8). The paper also grants SampleRate its best *post-facto*
+//! window parameter per scenario (Sec. 3.4); [`EvalConfig::samplerate_windows`]
+//! reproduces that bias by sweeping windows and keeping the best mean.
+
+use crate::hintstream::HintStream;
+use crate::protocols::{Charm, HintAware, RapidSample, RateAdapter, Rbar, Rraa, SampleRate};
+use crate::sim::LinkSimulator;
+use crate::workload::Workload;
+use hint_channel::{Environment, Trace};
+use hint_sensors::MotionProfile;
+use hint_sim::{ci95, mean, SimDuration};
+
+/// The protocols under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// The paper's mobile-optimised protocol (Sec. 3.1).
+    RapidSample,
+    /// Bicket's SampleRate.
+    SampleRate,
+    /// Wong et al.'s RRAA.
+    Rraa,
+    /// Holland et al.'s RBAR (SNR, instantaneous).
+    Rbar,
+    /// Judd et al.'s CHARM (SNR, averaged).
+    Charm,
+    /// The paper's hint-switched protocol (Sec. 3.2).
+    HintAware,
+}
+
+impl ProtocolKind {
+    /// All six protocols in the paper's presentation order.
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::HintAware,
+        ProtocolKind::RapidSample,
+        ProtocolKind::SampleRate,
+        ProtocolKind::Rraa,
+        ProtocolKind::Rbar,
+        ProtocolKind::Charm,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::RapidSample => "RapidSample",
+            ProtocolKind::SampleRate => "SampleRate",
+            ProtocolKind::Rraa => "RRAA",
+            ProtocolKind::Rbar => "RBAR",
+            ProtocolKind::Charm => "CHARM",
+            ProtocolKind::HintAware => "HintAware",
+        }
+    }
+
+    /// Instantiate a fresh adapter (SampleRate takes its window here).
+    pub fn build(self, samplerate_window: SimDuration) -> Box<dyn RateAdapter> {
+        match self {
+            ProtocolKind::RapidSample => Box::new(RapidSample::new()),
+            ProtocolKind::SampleRate => Box::new(SampleRate::with_window(samplerate_window)),
+            ProtocolKind::Rraa => Box::new(Rraa::new()),
+            ProtocolKind::Rbar => Box::new(Rbar::new()),
+            ProtocolKind::Charm => Box::new(Charm::new()),
+            ProtocolKind::HintAware => Box::new(HintAware::with_strategies(
+                RapidSample::new(),
+                SampleRate::with_window(samplerate_window),
+            )),
+        }
+    }
+}
+
+/// How traces are produced for one evaluation scenario.
+#[derive(Clone, Debug)]
+pub enum Scenario {
+    /// 50% static / 50% mobile 20 s traces, alternating which half comes
+    /// first per trace (Fig. 3-5).
+    MixedMobility {
+        /// Length of each half.
+        half: SimDuration,
+    },
+    /// Fully mobile (walking) traces (Fig. 3-6).
+    Mobile {
+        /// Trace duration.
+        duration: SimDuration,
+    },
+    /// Fully static traces (Fig. 3-7).
+    Static {
+        /// Trace duration.
+        duration: SimDuration,
+    },
+    /// Vehicular drive-by traces at the given speed (Fig. 3-8).
+    Vehicular {
+        /// Trace duration.
+        duration: SimDuration,
+        /// Car speed, m/s.
+        speed_mps: f64,
+    },
+}
+
+impl Scenario {
+    /// The motion profile of trace number `i` under this scenario.
+    pub fn profile(&self, i: usize) -> MotionProfile {
+        match *self {
+            Scenario::MixedMobility { half } => MotionProfile::half_and_half(half, i % 2 == 0),
+            Scenario::Mobile { duration } => MotionProfile::walking(duration, 1.4, 90.0),
+            Scenario::Static { duration } => MotionProfile::stationary(duration),
+            Scenario::Vehicular { duration, speed_mps } => {
+                // The paper's car drove "at varying speeds between 8 and
+                // 72 km/h"; vary the speed across traces around the base.
+                let speed = speed_mps * (0.6 + 0.1 * (i % 9) as f64);
+                MotionProfile::vehicle(duration, speed, 0.0)
+            }
+        }
+    }
+
+    /// Total duration of a trace under this scenario.
+    pub fn duration(&self) -> SimDuration {
+        match *self {
+            Scenario::MixedMobility { half } => half * 2,
+            Scenario::Mobile { duration }
+            | Scenario::Static { duration }
+            | Scenario::Vehicular { duration, .. } => duration,
+        }
+    }
+}
+
+/// Evaluation configuration.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Number of independent traces.
+    pub n_traces: usize,
+    /// Root seed; trace `i` uses `seed + i`.
+    pub seed: u64,
+    /// Workload (TCP for Figs. 3-5..3-7, UDP for Fig. 3-8).
+    pub workload: Workload,
+    /// Candidate SampleRate windows; the best post-facto mean is kept
+    /// (the paper's bias in SampleRate's favour, Sec. 3.4). The candidate
+    /// set stays in the neighbourhood of Bicket's canonical ten seconds:
+    /// sweeping down to ~1 s would turn SampleRate into a short-window
+    /// protocol it was never designed to be.
+    pub samplerate_windows: Vec<SimDuration>,
+    /// Use the real sensor pipeline for hints (true) or a zero-latency
+    /// oracle (false).
+    pub sensor_hints: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            n_traces: 10,
+            seed: 0xCAFE,
+            workload: Workload::tcp(),
+            samplerate_windows: vec![
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(10),
+            ],
+            sensor_hints: true,
+        }
+    }
+}
+
+/// Mean throughput (bps) with CI for one protocol in one environment.
+#[derive(Clone, Debug)]
+pub struct ProtocolScore {
+    /// Which protocol.
+    pub protocol: ProtocolKind,
+    /// Mean goodput across traces, bps.
+    pub mean_bps: f64,
+    /// 95% CI half-width of the mean, bps.
+    pub ci95_bps: f64,
+    /// Per-trace goodputs, bps.
+    pub per_trace_bps: Vec<f64>,
+}
+
+impl ProtocolScore {
+    /// Mean normalised to a reference mean.
+    pub fn normalized_to(&self, reference_bps: f64) -> f64 {
+        if reference_bps == 0.0 {
+            return 0.0;
+        }
+        self.mean_bps / reference_bps
+    }
+
+    /// CI normalised to a reference mean.
+    pub fn normalized_ci(&self, reference_bps: f64) -> f64 {
+        if reference_bps == 0.0 {
+            return 0.0;
+        }
+        self.ci95_bps / reference_bps
+    }
+}
+
+/// Evaluate all six protocols in `env` under `scenario`.
+///
+/// Every protocol sees exactly the same traces and the same hint streams,
+/// so differences are purely algorithmic.
+pub fn evaluate(env: &Environment, scenario: &Scenario, cfg: &EvalConfig) -> Vec<ProtocolScore> {
+    // Pre-generate traces and hint streams once.
+    let mut traces = Vec::with_capacity(cfg.n_traces);
+    for i in 0..cfg.n_traces {
+        let profile = scenario.profile(i);
+        let seed = cfg.seed.wrapping_add(i as u64);
+        let trace = Trace::generate(env, &profile, scenario.duration(), seed);
+        let hints = if cfg.sensor_hints {
+            HintStream::from_sensors(&profile, scenario.duration(), seed ^ 0x5EED)
+        } else {
+            HintStream::oracle(&profile, scenario.duration(), SimDuration::ZERO)
+        };
+        traces.push((trace, hints));
+    }
+
+    ProtocolKind::ALL
+        .iter()
+        .map(|&kind| {
+            // Sweep SampleRate windows where applicable; other protocols
+            // ignore the parameter.
+            let windows: &[SimDuration] = match kind {
+                ProtocolKind::SampleRate | ProtocolKind::HintAware => &cfg.samplerate_windows,
+                _ => &cfg.samplerate_windows[cfg.samplerate_windows.len() - 1..],
+            };
+            let mut best: Option<Vec<f64>> = None;
+            for &w in windows {
+                let goodputs: Vec<f64> = traces
+                    .iter()
+                    .map(|(trace, hints)| {
+                        let mut adapter = kind.build(w);
+                        LinkSimulator::new(trace)
+                            .with_hints(hints)
+                            .run(adapter.as_mut(), cfg.workload)
+                            .goodput_bps
+                    })
+                    .collect();
+                let better = match &best {
+                    None => true,
+                    Some(b) => mean(&goodputs) > mean(b),
+                };
+                if better {
+                    best = Some(goodputs);
+                }
+            }
+            let per_trace = best.expect("at least one window");
+            ProtocolScore {
+                protocol: kind,
+                mean_bps: mean(&per_trace),
+                ci95_bps: ci95(&per_trace),
+                per_trace_bps: per_trace,
+            }
+        })
+        .collect()
+}
+
+/// Fetch a protocol's score out of an `evaluate` result.
+pub fn score_of(scores: &[ProtocolScore], kind: ProtocolKind) -> &ProtocolScore {
+    scores
+        .iter()
+        .find(|s| s.protocol == kind)
+        .expect("all protocols evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(workload: Workload) -> EvalConfig {
+        EvalConfig {
+            n_traces: 4,
+            seed: 99,
+            workload,
+            samplerate_windows: vec![SimDuration::from_secs(10)],
+            sensor_hints: false, // oracle hints: faster, deterministic
+        }
+    }
+
+    #[test]
+    fn mobile_scenario_rapidsample_wins() {
+        let env = Environment::office();
+        let scen = Scenario::Mobile {
+            duration: SimDuration::from_secs(10),
+        };
+        let scores = evaluate(&env, &scen, &quick_cfg(Workload::Udp));
+        let rapid = score_of(&scores, ProtocolKind::RapidSample).mean_bps;
+        let sample = score_of(&scores, ProtocolKind::SampleRate).mean_bps;
+        assert!(
+            rapid > sample,
+            "mobile: RapidSample {:.2} Mbps should beat SampleRate {:.2} Mbps",
+            rapid / 1e6,
+            sample / 1e6
+        );
+    }
+
+    #[test]
+    fn static_scenario_samplerate_wins() {
+        let env = Environment::office();
+        let scen = Scenario::Static {
+            duration: SimDuration::from_secs(10),
+        };
+        let scores = evaluate(&env, &scen, &quick_cfg(Workload::Udp));
+        let rapid = score_of(&scores, ProtocolKind::RapidSample).mean_bps;
+        let sample = score_of(&scores, ProtocolKind::SampleRate).mean_bps;
+        assert!(
+            sample > rapid,
+            "static: SampleRate {:.2} Mbps should beat RapidSample {:.2} Mbps",
+            sample / 1e6,
+            rapid / 1e6
+        );
+    }
+
+    #[test]
+    fn mixed_scenario_hintaware_wins() {
+        let env = Environment::office();
+        let scen = Scenario::MixedMobility {
+            half: SimDuration::from_secs(10),
+        };
+        let scores = evaluate(&env, &scen, &quick_cfg(Workload::tcp()));
+        let hint = score_of(&scores, ProtocolKind::HintAware).mean_bps;
+        let sample = score_of(&scores, ProtocolKind::SampleRate).mean_bps;
+        let rapid = score_of(&scores, ProtocolKind::RapidSample).mean_bps;
+        assert!(
+            hint > sample && hint > rapid,
+            "mixed: HintAware {:.2} should beat SampleRate {:.2} and RapidSample {:.2} (Mbps)",
+            hint / 1e6,
+            sample / 1e6,
+            rapid / 1e6
+        );
+    }
+
+    #[test]
+    fn scenario_profiles_match_description() {
+        let s = Scenario::MixedMobility {
+            half: SimDuration::from_secs(10),
+        };
+        assert!((s.profile(0).moving_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(s.duration(), SimDuration::from_secs(20));
+        let v = Scenario::Vehicular {
+            duration: SimDuration::from_secs(10),
+            speed_mps: 15.0,
+        };
+        assert!(v.profile(0).is_moving_at(hint_sim::SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn all_protocols_scored() {
+        let env = Environment::hallway();
+        let scen = Scenario::Static {
+            duration: SimDuration::from_secs(5),
+        };
+        let mut cfg = quick_cfg(Workload::Udp);
+        cfg.n_traces = 2;
+        let scores = evaluate(&env, &scen, &cfg);
+        assert_eq!(scores.len(), 6);
+        for s in &scores {
+            assert!(s.mean_bps > 0.0, "{} produced zero goodput", s.protocol.name());
+            assert_eq!(s.per_trace_bps.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Movement-hint time series feeding the link simulator.
+//!
+//! In the real system, the receiver's hint service (Sec. 2.2.1) computes
+//! the movement hint from its accelerometer and ships it to the sender in
+//! ACK frames (Sec. 2.3). The link simulator consumes hints as a
+//! precomputed boolean time series sampled at the accelerometer report
+//! period, produced either:
+//!
+//! * **end-to-end** ([`HintStream::from_sensors`]): a synthetic
+//!   accelerometer observes the trace's motion profile and the paper's
+//!   jerk detector produces the hints — including its real detection
+//!   latency and any transient errors; or
+//! * **oracle** ([`HintStream::oracle`]): ground truth delayed by a fixed
+//!   latency, for ablations isolating the effect of detector quality.
+
+use hint_sensors::accelerometer::{Accelerometer, ACCEL_REPORT_PERIOD};
+use hint_sensors::jerk::MovementDetector;
+use hint_sensors::motion::MotionProfile;
+use hint_sim::{RngStream, SimDuration, SimTime};
+
+/// A boolean movement-hint series sampled every 2 ms.
+#[derive(Clone, Debug)]
+pub struct HintStream {
+    samples: Vec<bool>,
+    period: SimDuration,
+}
+
+impl HintStream {
+    /// Run the full sensor pipeline (synthetic accelerometer → jerk
+    /// detector) over `profile` for `duration`.
+    pub fn from_sensors(profile: &MotionProfile, duration: SimDuration, seed: u64) -> Self {
+        let rng = RngStream::new(seed).derive("hintstream-accel");
+        let mut accel = Accelerometer::new(profile.clone(), rng);
+        let mut det = MovementDetector::new();
+        let n = duration.as_micros() / ACCEL_REPORT_PERIOD.as_micros();
+        let mut samples = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let r = accel.next_report();
+            samples.push(det.push(&r).moving);
+        }
+        HintStream {
+            samples,
+            period: ACCEL_REPORT_PERIOD,
+        }
+    }
+
+    /// Ground-truth hints delayed by `latency` (an idealised detector).
+    pub fn oracle(profile: &MotionProfile, duration: SimDuration, latency: SimDuration) -> Self {
+        let period = ACCEL_REPORT_PERIOD;
+        let n = duration.as_micros() / period.as_micros();
+        let mut samples = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let t = SimTime::from_micros(i * period.as_micros());
+            let shifted = t.saturating_since(SimTime::ZERO + latency);
+            let query = SimTime::ZERO + shifted;
+            samples.push(profile.is_moving_at(query));
+        }
+        HintStream { samples, period }
+    }
+
+    /// The hint value at time `t` (clamped to the series bounds).
+    pub fn query(&self, t: SimTime) -> bool {
+        if self.samples.is_empty() {
+            return false;
+        }
+        let idx = (t.as_micros() / self.period.as_micros()) as usize;
+        self.samples[idx.min(self.samples.len() - 1)]
+    }
+
+    /// Number of 2 ms samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the stream holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fraction of samples reporting movement.
+    pub fn moving_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&m| m).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Agreement with ground truth over the stream (hint-accuracy metric).
+    pub fn accuracy_vs(&self, profile: &MotionProfile) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let agree = self
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(i, &m)| {
+                let t = SimTime::from_micros(*i as u64 * self.period.as_micros());
+                m == profile.is_moving_at(t)
+            })
+            .count();
+        agree as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_with_zero_latency_matches_truth() {
+        let p = MotionProfile::half_and_half(SimDuration::from_secs(5), true);
+        let h = HintStream::oracle(&p, SimDuration::from_secs(10), SimDuration::ZERO);
+        assert!(h.accuracy_vs(&p) > 0.999);
+        assert!(!h.query(SimTime::from_secs(2)));
+        assert!(h.query(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn oracle_latency_shifts_transitions() {
+        let p = MotionProfile::half_and_half(SimDuration::from_secs(5), true);
+        let h = HintStream::oracle(&p, SimDuration::from_secs(10), SimDuration::from_millis(500));
+        // Just after the true transition the delayed oracle still says
+        // static.
+        assert!(!h.query(SimTime::from_millis(5200)));
+        assert!(h.query(SimTime::from_millis(5800)));
+    }
+
+    #[test]
+    fn sensor_stream_tracks_profile_well() {
+        let p = MotionProfile::half_and_half(SimDuration::from_secs(10), true);
+        let h = HintStream::from_sensors(&p, SimDuration::from_secs(20), 7);
+        let acc = h.accuracy_vs(&p);
+        assert!(acc > 0.95, "sensor hint accuracy {acc:.3}");
+        assert!((h.moving_fraction() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn queries_clamp_past_end() {
+        let p = MotionProfile::walking(SimDuration::from_secs(1), 1.4, 0.0);
+        let h = HintStream::oracle(&p, SimDuration::from_secs(1), SimDuration::ZERO);
+        assert!(h.query(SimTime::from_secs(100)));
+    }
+}

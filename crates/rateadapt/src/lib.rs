@@ -1,0 +1,36 @@
+//! # hint-rateadapt — bit-rate adaptation protocols and their evaluation
+//!
+//! Chapter 3 of the paper: six 802.11a rate-adaptation protocols behind a
+//! single [`RateAdapter`] trait, a trace-driven link simulator replicating
+//! the paper's modified-ns-3 methodology, and workload models (saturated
+//! UDP, and the lightweight TCP model whose timeouts reproduce the paper's
+//! "TCP times out when faced with the high loss rate of the mobile case").
+//!
+//! Protocols:
+//!
+//! | Protocol | Kind | Source |
+//! |---|---|---|
+//! | [`protocols::RapidSample`] | frame-based, mobile-optimised | the paper's contribution (Fig. 3-2) |
+//! | [`protocols::SampleRate`]  | frame-based, long (10 s) history | Bicket 2005 |
+//! | [`protocols::Rraa`]        | frame-based, short windows | Wong et al. 2006 |
+//! | [`protocols::Rbar`]        | SNR-based, instantaneous | Holland et al. 2001 |
+//! | [`protocols::Charm`]       | SNR-based, averaged | Judd et al. 2008 |
+//! | [`protocols::HintAware`]   | hint-switched RapidSample/SampleRate | the paper's contribution (Sec. 3.2) |
+//!
+//! Evaluation entry points live in [`evaluate`]; the Fig. 3-5..3-8
+//! experiment binaries in the `hint-bench` crate are thin wrappers over
+//! them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod hintstream;
+pub mod protocols;
+pub mod sim;
+pub mod workload;
+
+pub use hintstream::HintStream;
+pub use protocols::{Charm, HintAware, RapidSample, RateAdapter, Rbar, Rraa, SampleRate};
+pub use sim::{LinkSimulator, SimResult};
+pub use workload::Workload;

@@ -1,0 +1,74 @@
+//! The rate-adaptation protocols under evaluation.
+
+mod charm;
+mod hintaware;
+mod rapidsample;
+mod rbar;
+mod rraa;
+mod samplerate;
+
+pub use charm::Charm;
+pub use hintaware::HintAware;
+pub use rapidsample::RapidSample;
+pub use rbar::Rbar;
+pub use rraa::Rraa;
+pub use samplerate::SampleRate;
+
+use hint_mac::BitRate;
+use hint_sim::SimTime;
+
+/// The interface every rate-adaptation protocol implements.
+///
+/// The link simulator drives an adapter packet by packet: it asks for a
+/// rate, transmits, then reports the outcome. SNR-based protocols
+/// additionally receive per-packet SNR feedback (the paper "assumed that
+/// the sender has up-to-date knowledge about the receiver SNR", Sec. 3.4),
+/// and hint-aware protocols receive movement hints via the hint protocol.
+pub trait RateAdapter {
+    /// Short name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Choose the bit rate for the next transmission at time `now`.
+    fn pick_rate(&mut self, now: SimTime) -> BitRate;
+
+    /// Report the outcome of the transmission that started at `now` at
+    /// `rate` (`success` = link-layer ACK received).
+    fn report(&mut self, now: SimTime, rate: BitRate, success: bool);
+
+    /// Per-packet receiver SNR feedback in dB (consumed by RBAR/CHARM;
+    /// ignored by frame-based protocols).
+    fn report_snr(&mut self, _now: SimTime, _snr_db: f64) {}
+
+    /// Movement hint delivered by the hint protocol (consumed by the
+    /// hint-aware switcher; ignored by hint-oblivious protocols).
+    fn report_movement_hint(&mut self, _now: SimTime, _moving: bool) {}
+
+    /// Reset all protocol state (used when the hint-aware switcher
+    /// reactivates a strategy whose history has gone stale).
+    fn reset(&mut self, now: SimTime);
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Drive an adapter with a fixed success pattern and return the rates
+    /// it picked. `pattern(i)` gives the fate of packet `i`; packets are
+    /// `gap_us` apart.
+    pub fn drive<A: RateAdapter>(
+        adapter: &mut A,
+        n: usize,
+        gap_us: u64,
+        mut pattern: impl FnMut(usize, BitRate) -> bool,
+    ) -> Vec<BitRate> {
+        let mut rates = Vec::with_capacity(n);
+        for i in 0..n {
+            let now = SimTime::from_micros(i as u64 * gap_us);
+            let r = adapter.pick_rate(now);
+            let ok = pattern(i, r);
+            adapter.report(now, r, ok);
+            rates.push(r);
+        }
+        rates
+    }
+}

@@ -1,0 +1,305 @@
+//! SampleRate (Bicket 2005) — the static-optimised frame-based protocol.
+//!
+//! "SampleRate picks the bit rate that minimizes the average packet
+//! transmission time over a ten-second window. It periodically samples
+//! higher bit rates to adapt to changing channel conditions" (Sec. 6.2).
+//!
+//! Implementation notes:
+//!
+//! * Per-rate sliding window of transmission outcomes (default 10 s).
+//!   The *average transmission time per successfully delivered packet* at
+//!   rate `r` is `attempts(r) × airtime(r) / successes(r)`; a rate with
+//!   attempts but no successes in the window is treated as infinitely
+//!   expensive, and an untried rate is scored at its lossless airtime
+//!   (optimism drives initial exploration).
+//! * Every `sample_every`-th packet (default 10th ⇒ ~10% sampling, as in
+//!   Bicket's design) transmits at a *candidate* rate instead of the
+//!   current best: a rate whose **lossless** airtime beats the best rate's
+//!   current average — i.e. a rate that could plausibly win.
+//!
+//! The long window is exactly why SampleRate excels when static (it
+//! averages out short-term fading) and struggles when mobile (its history
+//! goes stale within one channel coherence time; Sec. 3.5, Fig. 3-6).
+
+use super::RateAdapter;
+use hint_mac::{BitRate, MacTiming};
+use hint_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// The default averaging window: ten seconds.
+pub const WINDOW: SimDuration = SimDuration::from_secs(10);
+
+/// Default sampling cadence: every 10th packet is a sample.
+pub const SAMPLE_EVERY: u64 = 10;
+
+/// One recorded transmission.
+#[derive(Clone, Copy, Debug)]
+struct Outcome {
+    t: SimTime,
+    success: bool,
+}
+
+/// Per-rate outcome history over the sliding window.
+#[derive(Clone, Debug, Default)]
+struct RateStats {
+    outcomes: VecDeque<Outcome>,
+    attempts: u64,
+    successes: u64,
+}
+
+impl RateStats {
+    fn push(&mut self, t: SimTime, success: bool) {
+        self.outcomes.push_back(Outcome { t, success });
+        self.attempts += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    fn expire(&mut self, now: SimTime, window: SimDuration) {
+        while let Some(o) = self.outcomes.front() {
+            if now.saturating_since(o.t) > window {
+                self.attempts -= 1;
+                if o.success {
+                    self.successes -= 1;
+                }
+                self.outcomes.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The SampleRate protocol state.
+#[derive(Clone, Debug)]
+pub struct SampleRate {
+    stats: [RateStats; BitRate::COUNT],
+    timing: MacTiming,
+    payload_bytes: u32,
+    packet_counter: u64,
+    /// Round-robin cursor over sample candidates.
+    sample_cursor: usize,
+    /// Averaging window length.
+    pub window: SimDuration,
+    /// Sample every n-th packet.
+    pub sample_every: u64,
+}
+
+impl Default for SampleRate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleRate {
+    /// SampleRate with the canonical 10 s window, 10% sampling, 1000-byte
+    /// packets.
+    pub fn new() -> Self {
+        SampleRate {
+            stats: Default::default(),
+            timing: MacTiming::ieee80211a(),
+            payload_bytes: 1000,
+            packet_counter: 0,
+            sample_cursor: 0,
+            window: WINDOW,
+            sample_every: SAMPLE_EVERY,
+        }
+    }
+
+    /// SampleRate with an explicit window (the paper post-processes traces
+    /// to find the best per-trace parameter; the Fig. 3-5 harness sweeps
+    /// this to grant SampleRate the same favour).
+    pub fn with_window(window: SimDuration) -> Self {
+        let mut s = Self::new();
+        s.window = window;
+        s
+    }
+
+    /// Lossless airtime of one packet at `rate`.
+    fn lossless(&self, rate: BitRate) -> f64 {
+        self.timing
+            .exchange_airtime(rate, self.payload_bytes)
+            .as_secs_f64()
+    }
+
+    /// Average transmission time per delivered packet at `rate`
+    /// (`f64::INFINITY` when the window shows attempts but no successes).
+    fn avg_tx_time(&self, rate: BitRate) -> f64 {
+        let s = &self.stats[rate.index()];
+        if s.attempts == 0 {
+            // Untried: optimistic lossless estimate.
+            return self.lossless(rate);
+        }
+        if s.successes == 0 {
+            return f64::INFINITY;
+        }
+        s.attempts as f64 * self.lossless(rate) / s.successes as f64
+    }
+
+    /// The rate with the minimum average transmission time.
+    fn best_rate(&self) -> BitRate {
+        let mut best = BitRate::SLOWEST;
+        let mut best_time = f64::INFINITY;
+        for &r in &BitRate::ALL {
+            let t = self.avg_tx_time(r);
+            // Strict less-than keeps the slowest rate on total blackout.
+            if t < best_time {
+                best_time = t;
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// Candidate rates worth sampling: lossless time beats the current
+    /// best average, excluding the best rate itself.
+    fn sample_candidates(&self, best: BitRate) -> Vec<BitRate> {
+        let best_avg = self.avg_tx_time(best);
+        BitRate::ALL
+            .iter()
+            .copied()
+            .filter(|&r| r != best && self.lossless(r) < best_avg)
+            .collect()
+    }
+
+    fn expire_all(&mut self, now: SimTime) {
+        for s in &mut self.stats {
+            s.expire(now, self.window);
+        }
+    }
+}
+
+impl RateAdapter for SampleRate {
+    fn name(&self) -> &'static str {
+        "SampleRate"
+    }
+
+    fn pick_rate(&mut self, now: SimTime) -> BitRate {
+        self.expire_all(now);
+        self.packet_counter += 1;
+        let best = self.best_rate();
+        if self.packet_counter % self.sample_every == 0 {
+            let cands = self.sample_candidates(best);
+            if !cands.is_empty() {
+                self.sample_cursor = (self.sample_cursor + 1) % cands.len();
+                return cands[self.sample_cursor];
+            }
+        }
+        best
+    }
+
+    fn report(&mut self, now: SimTime, rate: BitRate, success: bool) {
+        self.stats[rate.index()].push(now, success);
+    }
+
+    fn reset(&mut self, _now: SimTime) {
+        let window = self.window;
+        let sample_every = self.sample_every;
+        *self = SampleRate::new();
+        self.window = window;
+        self.sample_every = sample_every;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::testutil::drive;
+
+    #[test]
+    fn converges_to_best_rate_under_clean_channel() {
+        let mut sr = SampleRate::new();
+        // Everything succeeds: 54 Mbps has the lowest lossless time and
+        // must dominate after warm-up.
+        let rates = drive(&mut sr, 2000, 220, |_, _| true);
+        let tail = &rates[1000..];
+        let at54 = tail.iter().filter(|&&r| r == BitRate::R54).count();
+        assert!(
+            at54 as f64 / tail.len() as f64 > 0.85,
+            "54 Mbps share {}",
+            at54 as f64 / tail.len() as f64
+        );
+    }
+
+    #[test]
+    fn avoids_rate_that_always_fails() {
+        let mut sr = SampleRate::new();
+        // 54 always fails; 48 and below always succeed.
+        let rates = drive(&mut sr, 3000, 220, |_, r| r != BitRate::R54);
+        let tail = &rates[1500..];
+        let at48 = tail.iter().filter(|&&r| r == BitRate::R48).count();
+        let at54 = tail.iter().filter(|&&r| r == BitRate::R54).count();
+        assert!(
+            at48 as f64 / tail.len() as f64 > 0.8,
+            "48 share {}",
+            at48 as f64 / tail.len() as f64
+        );
+        // 54 only ever appears as an occasional sample (~≤10%).
+        assert!(
+            (at54 as f64 / tail.len() as f64) < 0.15,
+            "54 sampled too often: {}",
+            at54 as f64 / tail.len() as f64
+        );
+    }
+
+    #[test]
+    fn sampling_cadence_is_bounded() {
+        let mut sr = SampleRate::new();
+        // With a clean channel at 54 there is nothing better to sample
+        // (no rate has lower lossless time), so all packets go at 54.
+        let rates = drive(&mut sr, 500, 220, |_, _| true);
+        let non54 = rates[100..].iter().filter(|&&r| r != BitRate::R54).count();
+        assert!(non54 <= 40, "spurious sampling: {non54}");
+    }
+
+    #[test]
+    fn stale_history_expires() {
+        let mut sr = SampleRate::with_window(SimDuration::from_secs(1));
+        // Massive failure history at 54 within t < 1 s.
+        for i in 0..100 {
+            sr.report(SimTime::from_micros(i * 1000), BitRate::R54, false);
+            sr.report(SimTime::from_micros(i * 1000), BitRate::R48, true);
+        }
+        // Right after, best is 48.
+        assert_eq!(sr.pick_rate(SimTime::from_millis(101)), BitRate::R48);
+        // Two windows later all history is gone; optimism returns to 54.
+        assert_eq!(sr.pick_rate(SimTime::from_secs(3)), BitRate::R54);
+    }
+
+    #[test]
+    fn mixed_loss_prefers_throughput_optimal_rate() {
+        // 54 succeeds 30% of the time, 36 succeeds always. Average tx
+        // time at 54 = 220/0.3 = 733 µs > 272 µs at 36 ⇒ 36 must win.
+        let mut sr = SampleRate::new();
+        let mut i54 = 0u64;
+        let rates = drive(&mut sr, 4000, 250, |_, r| match r {
+            BitRate::R54 => {
+                i54 += 1;
+                i54 % 10 < 3
+            }
+            _ => true,
+        });
+        let tail = &rates[2000..];
+        let at36plus = tail
+            .iter()
+            .filter(|&&r| r == BitRate::R36 || r == BitRate::R48)
+            .count();
+        assert!(
+            at36plus as f64 / tail.len() as f64 > 0.7,
+            "should settle at 36/48, got {:?}",
+            tail.iter().filter(|&&r| r == BitRate::R54).count()
+        );
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut sr = SampleRate::new();
+        for i in 0..50 {
+            sr.report(SimTime::from_micros(i * 220), BitRate::R54, false);
+        }
+        sr.reset(SimTime::from_millis(100));
+        // Fresh optimism: picks 54 again.
+        assert_eq!(sr.pick_rate(SimTime::from_millis(100)), BitRate::R54);
+    }
+}

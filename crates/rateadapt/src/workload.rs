@@ -1,0 +1,71 @@
+//! Traffic workload models.
+//!
+//! The Fig. 3-5..3-7 experiments use TCP ("the traffic workload we used to
+//! evaluate was TCP"); the vehicular experiment uses UDP because "TCP
+//! times out when faced with the high loss rate of the mobile case"
+//! (Sec. 3.5). The TCP model here is deliberately lightweight — window
+//! halving on loss, exponential-backoff retransmission timeouts on
+//! sustained blackouts, slow start/congestion avoidance — enough to
+//! reproduce TCP's disproportionate punishment of bursty link loss without
+//! simulating a full stack.
+
+use hint_sim::SimDuration;
+
+/// Parameters of the lightweight TCP model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TcpConfig {
+    /// Round-trip time budget per congestion window (LAN-scale).
+    pub rtt: SimDuration,
+    /// Base retransmission timeout.
+    pub rto: SimDuration,
+    /// Maximum backed-off RTO.
+    pub rto_max: SimDuration,
+    /// Link-layer attempts per TCP segment before TCP sees a loss.
+    pub link_attempts: u32,
+    /// Congestion-window cap, packets.
+    pub cwnd_cap: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            rtt: SimDuration::from_millis(5),
+            rto: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(3),
+            link_attempts: 4,
+            cwnd_cap: 64.0,
+        }
+    }
+}
+
+/// A traffic workload driving the link simulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// Saturated UDP: back-to-back packets, one link attempt each,
+    /// goodput = delivered fraction.
+    Udp,
+    /// The lightweight TCP model.
+    Tcp(TcpConfig),
+}
+
+impl Workload {
+    /// TCP with default parameters.
+    pub fn tcp() -> Workload {
+        Workload::Tcp(TcpConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TcpConfig::default();
+        assert!(c.rto > c.rtt);
+        assert!(c.rto_max > c.rto);
+        assert!(c.link_attempts >= 1);
+        assert!(c.cwnd_cap >= 2.0);
+        assert_eq!(Workload::tcp(), Workload::Tcp(TcpConfig::default()));
+    }
+}

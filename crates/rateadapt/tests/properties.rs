@@ -1,0 +1,146 @@
+//! Property-based tests for the rate-adaptation protocols: protocol
+//! invariants must hold under arbitrary fate sequences, not just the
+//! trajectories the simulator happens to produce.
+
+use hint_mac::BitRate;
+use hint_rateadapt::protocols::{
+    Charm, HintAware, RapidSample, RateAdapter, Rbar, Rraa, SampleRate,
+};
+use hint_sim::SimTime;
+use proptest::prelude::*;
+
+/// Drive an adapter with arbitrary (fate, snr, hint) inputs; return the
+/// rates it picked.
+fn drive(adapter: &mut dyn RateAdapter, inputs: &[(bool, f64, bool)]) -> Vec<BitRate> {
+    let mut out = Vec::with_capacity(inputs.len());
+    for (i, &(ok, snr, hint)) in inputs.iter().enumerate() {
+        let now = SimTime::from_micros(i as u64 * 220);
+        adapter.report_movement_hint(now, hint);
+        adapter.report_snr(now, snr);
+        let r = adapter.pick_rate(now);
+        adapter.report(now, r, ok);
+        out.push(r);
+    }
+    out
+}
+
+fn inputs() -> impl Strategy<Value = Vec<(bool, f64, bool)>> {
+    proptest::collection::vec((any::<bool>(), -20.0f64..45.0, any::<bool>()), 1..400)
+}
+
+fn adapters() -> Vec<(&'static str, Box<dyn RateAdapter>)> {
+    vec![
+        ("RapidSample", Box::new(RapidSample::new())),
+        ("SampleRate", Box::new(SampleRate::new())),
+        ("RRAA", Box::new(Rraa::new())),
+        ("RBAR", Box::new(Rbar::new())),
+        ("CHARM", Box::new(Charm::new())),
+        ("HintAware", Box::new(HintAware::new())),
+    ]
+}
+
+proptest! {
+    /// No protocol ever picks an illegal rate or panics, whatever the
+    /// feedback sequence.
+    #[test]
+    fn protocols_total_over_arbitrary_feedback(seq in inputs()) {
+        for (name, mut a) in adapters() {
+            let rates = drive(a.as_mut(), &seq);
+            prop_assert_eq!(rates.len(), seq.len(), "{} dropped picks", name);
+            // (BitRate is an enum, so legality is type-enforced; this
+            // exercises the no-panic property.)
+        }
+    }
+
+    /// Determinism: identical feedback ⇒ identical decisions.
+    #[test]
+    fn protocols_deterministic(seq in inputs()) {
+        for ((name, mut a), (_, mut b)) in adapters().into_iter().zip(adapters()) {
+            let ra = drive(a.as_mut(), &seq);
+            let rb = drive(b.as_mut(), &seq);
+            prop_assert_eq!(ra, rb, "{} nondeterministic", name);
+        }
+    }
+
+    /// Reset restores initial behaviour exactly.
+    #[test]
+    fn reset_equals_fresh(seq in inputs(), tail in inputs()) {
+        for ((name, mut used), (_, mut fresh)) in adapters().into_iter().zip(adapters()) {
+            drive(used.as_mut(), &seq);
+            used.reset(SimTime::ZERO);
+            let after_reset = drive(used.as_mut(), &tail);
+            let from_fresh = drive(fresh.as_mut(), &tail);
+            prop_assert_eq!(after_reset, from_fresh, "{} reset != fresh", name);
+        }
+    }
+
+    /// RapidSample safety: a failure at the operating rate never raises
+    /// the next pick; total blackout always ends at the slowest rate.
+    #[test]
+    fn rapidsample_failure_never_raises(seq in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut rs = RapidSample::new();
+        let mut prev_rate = rs.pick_rate(SimTime::ZERO);
+        for (i, &ok) in seq.iter().enumerate() {
+            let now = SimTime::from_micros(i as u64 * 220);
+            let r = rs.pick_rate(now);
+            rs.report(now, r, ok);
+            let next = rs.pick_rate(now);
+            if !ok {
+                prop_assert!(next.index() <= r.index().max(prev_rate.index()),
+                    "failure raised rate: {} -> {}", r, next);
+            }
+            prev_rate = r;
+        }
+        // Blackout coda.
+        for i in 0..20u64 {
+            let now = SimTime::from_micros((seq.len() as u64 + i) * 220);
+            let r = rs.pick_rate(now);
+            rs.report(now, r, false);
+        }
+        prop_assert_eq!(rs.pick_rate(SimTime::from_secs(1)), BitRate::R6);
+    }
+
+    /// RBAR is memoryless in SNR: its pick depends only on the most
+    /// recent feedback.
+    #[test]
+    fn rbar_memoryless(history in proptest::collection::vec(-20.0f64..45.0, 0..50), last in -20.0f64..45.0) {
+        let mut with_history = Rbar::new();
+        for (i, &snr) in history.iter().enumerate() {
+            with_history.report_snr(SimTime::from_micros(i as u64), snr);
+        }
+        with_history.report_snr(SimTime::from_millis(1), last);
+        let mut fresh = Rbar::new();
+        fresh.report_snr(SimTime::from_millis(1), last);
+        prop_assert_eq!(
+            with_history.pick_rate(SimTime::from_millis(1)),
+            fresh.pick_rate(SimTime::from_millis(1))
+        );
+    }
+
+    /// CHARM's average stays within the range of its inputs.
+    #[test]
+    fn charm_average_bounded(snrs in proptest::collection::vec(-20.0f64..45.0, 1..100)) {
+        let mut c = Charm::new();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, &snr) in snrs.iter().enumerate() {
+            c.report_snr(SimTime::from_micros(i as u64 * 5000), snr);
+            lo = lo.min(snr);
+            hi = hi.max(snr);
+            let avg = c.avg_snr_db().expect("fed");
+            prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg {avg} outside [{lo},{hi}]");
+        }
+    }
+
+    /// HintAware always mirrors one of its two strategies' names and
+    /// switches exactly on hint edges.
+    #[test]
+    fn hintaware_switch_semantics(hints in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let mut h = HintAware::new();
+        for (i, &m) in hints.iter().enumerate() {
+            h.report_movement_hint(SimTime::from_micros(i as u64 * 1000), m);
+            let want = if m { "RapidSample" } else { "SampleRate" };
+            prop_assert_eq!(h.active_name(), want);
+            prop_assert_eq!(h.last_hint(), m);
+        }
+    }
+}

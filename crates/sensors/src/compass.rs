@@ -1,0 +1,173 @@
+//! Digital compass (magnetometer) model (Sec. 2.2.2).
+//!
+//! Compasses report heading relative to magnetic north. The paper notes
+//! their accuracy "depends on the magnetic influence in the environment and
+//! can become extremely noisy in some indoor environments" — modelled here
+//! as an environment-dependent noise level plus occasional slowly varying
+//! magnetic disturbance (ferrous structure, wiring) that biases readings.
+
+use crate::motion::MotionProfile;
+use hint_sim::{RngStream, SimTime};
+
+/// Magnetic environment classes with representative noise behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MagneticEnvironment {
+    /// Open outdoor air: small white noise only.
+    CleanOutdoor,
+    /// Typical office: moderate noise plus mild wandering bias.
+    Indoor,
+    /// Near elevators / machine rooms: heavy noise and large bias swings —
+    /// the case where Sec. 2.2.2 recommends gyro fusion.
+    IndoorNoisy,
+}
+
+impl MagneticEnvironment {
+    /// White-noise std-dev in degrees.
+    fn noise_deg(self) -> f64 {
+        match self {
+            MagneticEnvironment::CleanOutdoor => 2.0,
+            MagneticEnvironment::Indoor => 8.0,
+            MagneticEnvironment::IndoorNoisy => 30.0,
+        }
+    }
+
+    /// Random-walk step of the disturbance bias, degrees per reading.
+    fn bias_step_deg(self) -> f64 {
+        match self {
+            MagneticEnvironment::CleanOutdoor => 0.0,
+            MagneticEnvironment::Indoor => 0.3,
+            MagneticEnvironment::IndoorNoisy => 1.0,
+        }
+    }
+
+    /// Maximum magnitude the wandering bias can reach, degrees.
+    fn bias_cap_deg(self) -> f64 {
+        match self {
+            MagneticEnvironment::CleanOutdoor => 0.0,
+            MagneticEnvironment::Indoor => 8.0,
+            MagneticEnvironment::IndoorNoisy => 15.0,
+        }
+    }
+}
+
+/// One compass reading.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompassReading {
+    /// Reading timestamp.
+    pub t: SimTime,
+    /// Heading in degrees `[0, 360)` clockwise from magnetic north.
+    pub heading_deg: f64,
+}
+
+/// Synthetic compass bound to a ground-truth motion profile.
+#[derive(Clone, Debug)]
+pub struct Compass {
+    profile: MotionProfile,
+    env: MagneticEnvironment,
+    rng: RngStream,
+    bias: f64,
+}
+
+impl Compass {
+    /// Create a compass in the given magnetic environment.
+    pub fn new(profile: MotionProfile, env: MagneticEnvironment, rng: RngStream) -> Self {
+        Compass {
+            profile,
+            env,
+            rng,
+            bias: 0.0,
+        }
+    }
+
+    /// The environment this compass operates in.
+    pub fn environment(&self) -> MagneticEnvironment {
+        self.env
+    }
+
+    /// Take a reading at time `t`.
+    pub fn read_at(&mut self, t: SimTime) -> CompassReading {
+        let step = self.env.bias_step_deg();
+        if step > 0.0 {
+            self.bias += self.rng.normal() * step;
+            let cap = self.env.bias_cap_deg();
+            self.bias = self.bias.clamp(-cap, cap);
+        }
+        let true_heading = self.profile.heading_at(t);
+        let noisy =
+            (true_heading + self.bias + self.rng.normal() * self.env.noise_deg()).rem_euclid(360.0);
+        CompassReading {
+            t,
+            heading_deg: noisy,
+        }
+    }
+}
+
+/// Smallest absolute angular difference between two headings, degrees
+/// `[0, 180]`. Used throughout the vehicular CTE metric (Sec. 5.1.1).
+pub fn heading_difference(a_deg: f64, b_deg: f64) -> f64 {
+    let d = (a_deg - b_deg).rem_euclid(360.0);
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_sim::SimDuration;
+
+    fn rng() -> RngStream {
+        RngStream::new(31).derive("compass")
+    }
+
+    #[test]
+    fn outdoor_readings_are_tight() {
+        let p = MotionProfile::vehicle(SimDuration::from_secs(100), 10.0, 120.0);
+        let mut c = Compass::new(p, MagneticEnvironment::CleanOutdoor, rng());
+        let mut errs = Vec::new();
+        for s in 0..100 {
+            let r = c.read_at(SimTime::from_secs(s));
+            errs.push(heading_difference(r.heading_deg, 120.0));
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 4.0, "mean outdoor error {mean_err}");
+    }
+
+    #[test]
+    fn noisy_indoor_readings_are_much_worse() {
+        let p = MotionProfile::walking(SimDuration::from_secs(100), 1.4, 200.0);
+        let mut c = Compass::new(p, MagneticEnvironment::IndoorNoisy, rng());
+        let mut errs = Vec::new();
+        for s in 0..100 {
+            let r = c.read_at(SimTime::from_secs(s));
+            errs.push(heading_difference(r.heading_deg, 200.0));
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err > 10.0, "mean noisy-indoor error {mean_err}");
+    }
+
+    #[test]
+    fn readings_stay_in_range() {
+        let p = MotionProfile::walking(SimDuration::from_secs(50), 1.4, 350.0);
+        let mut c = Compass::new(p, MagneticEnvironment::IndoorNoisy, rng());
+        for s in 0..50 {
+            let r = c.read_at(SimTime::from_secs(s));
+            assert!((0.0..360.0).contains(&r.heading_deg));
+        }
+    }
+
+    #[test]
+    fn heading_difference_properties() {
+        assert_eq!(heading_difference(0.0, 0.0), 0.0);
+        assert_eq!(heading_difference(0.0, 180.0), 180.0);
+        assert!((heading_difference(350.0, 10.0) - 20.0).abs() < 1e-12);
+        assert!((heading_difference(10.0, 350.0) - 20.0).abs() < 1e-12);
+        assert!((heading_difference(90.0, 270.0) - 180.0).abs() < 1e-12);
+        // Symmetry.
+        for (a, b) in [(15.0, 200.0), (359.0, 1.0), (123.4, 321.0)] {
+            assert_eq!(heading_difference(a, b), heading_difference(b, a));
+        }
+    }
+}

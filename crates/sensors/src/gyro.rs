@@ -1,0 +1,159 @@
+//! Gyroscope model (Sec. 2.2.2).
+//!
+//! Gyros report angular rate about the vertical axis. Integrating the rate
+//! tracks heading changes accurately over short horizons but drifts without
+//! bound (bias instability), which is why the paper pairs the gyro with the
+//! compass rather than using it alone.
+
+use crate::motion::MotionProfile;
+use hint_sim::{RngStream, SimDuration, SimTime};
+
+/// One gyroscope reading.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GyroReading {
+    /// Reading timestamp.
+    pub t: SimTime,
+    /// Angular rate about the vertical axis, degrees/second
+    /// (positive = clockwise, matching compass convention).
+    pub rate_dps: f64,
+}
+
+/// Synthetic z-axis gyroscope bound to a motion profile.
+///
+/// The true angular rate is the derivative of the profile's heading
+/// (impulsive at segment boundaries, smoothed over the sample interval),
+/// plus white noise and a slowly wandering bias.
+#[derive(Clone, Debug)]
+pub struct Gyro {
+    profile: MotionProfile,
+    rng: RngStream,
+    /// White-noise std-dev, degrees/second.
+    pub noise_dps: f64,
+    /// Bias random-walk step per reading, degrees/second.
+    pub bias_step_dps: f64,
+    /// Sampling interval.
+    pub sample_interval: SimDuration,
+    bias: f64,
+    last_t: SimTime,
+    last_heading: f64,
+}
+
+impl Gyro {
+    /// Create a gyro with typical MEMS noise characteristics.
+    pub fn new(profile: MotionProfile, rng: RngStream) -> Self {
+        let h0 = profile.heading_at(SimTime::ZERO);
+        Gyro {
+            profile,
+            rng,
+            noise_dps: 0.5,
+            bias_step_dps: 0.002,
+            sample_interval: SimDuration::from_millis(20),
+            bias: 0.0,
+            last_t: SimTime::ZERO,
+            last_heading: h0,
+        }
+    }
+
+    /// Take a reading at `t` (must be ≥ the previous reading's time).
+    pub fn read_at(&mut self, t: SimTime) -> GyroReading {
+        let dt = t.saturating_since(self.last_t).as_secs_f64().max(1e-6);
+        let heading = self.profile.heading_at(t);
+        // Shortest-path angular change.
+        let mut dh = (heading - self.last_heading).rem_euclid(360.0);
+        if dh > 180.0 {
+            dh -= 360.0;
+        }
+        let true_rate = dh / dt;
+        self.last_t = t;
+        self.last_heading = heading;
+
+        self.bias += self.rng.normal() * self.bias_step_dps;
+        GyroReading {
+            t,
+            rate_dps: true_rate + self.bias + self.rng.normal() * self.noise_dps,
+        }
+    }
+
+    /// Current accumulated bias (test aid).
+    pub fn bias_dps(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion::{MotionSegment, MotionState};
+
+    fn rng() -> RngStream {
+        RngStream::new(41).derive("gyro")
+    }
+
+    #[test]
+    fn constant_heading_reads_near_zero_rate() {
+        let p = MotionProfile::walking(SimDuration::from_secs(10), 1.4, 90.0);
+        let mut g = Gyro::new(p, rng());
+        let mut rates = Vec::new();
+        for i in 1..100 {
+            rates.push(g.read_at(SimTime::from_millis(i * 100)).rate_dps);
+        }
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!(mean.abs() < 1.0, "mean rate {mean}");
+    }
+
+    #[test]
+    fn heading_change_produces_rate_spike() {
+        let p = MotionProfile::new(vec![
+            MotionSegment {
+                state: MotionState::Walking { speed_mps: 1.4 },
+                duration: SimDuration::from_secs(5),
+                heading_deg: 0.0,
+            },
+            MotionSegment {
+                state: MotionState::Walking { speed_mps: 1.4 },
+                duration: SimDuration::from_secs(5),
+                heading_deg: 90.0,
+            },
+        ]);
+        let mut g = Gyro::new(p, rng());
+        let mut max_rate: f64 = 0.0;
+        for i in 1..100 {
+            let r = g.read_at(SimTime::from_millis(i * 100));
+            max_rate = max_rate.max(r.rate_dps.abs());
+        }
+        // 90° over one 100 ms sample ⇒ ~900°/s spike.
+        assert!(max_rate > 100.0, "max rate {max_rate}");
+    }
+
+    #[test]
+    fn bias_wanders_over_time() {
+        let p = MotionProfile::stationary(SimDuration::from_secs(1000));
+        let mut g = Gyro::new(p, rng());
+        for i in 1..5000 {
+            g.read_at(SimTime::from_millis(i * 20));
+        }
+        assert!(g.bias_dps().abs() > 0.0, "bias should have wandered");
+    }
+
+    #[test]
+    fn wraparound_rate_takes_shortest_path() {
+        // 350° → 10° should read as +20°, not −340°.
+        let p = MotionProfile::new(vec![
+            MotionSegment {
+                state: MotionState::Walking { speed_mps: 1.4 },
+                duration: SimDuration::from_secs(1),
+                heading_deg: 350.0,
+            },
+            MotionSegment {
+                state: MotionState::Walking { speed_mps: 1.4 },
+                duration: SimDuration::from_secs(1),
+                heading_deg: 10.0,
+            },
+        ]);
+        let mut g = Gyro::new(p, rng());
+        g.read_at(SimTime::from_millis(900));
+        let r = g.read_at(SimTime::from_millis(1100));
+        // +20° over 0.2 s ⇒ ~+100°/s.
+        assert!(r.rate_dps > 50.0 && r.rate_dps < 150.0, "rate {}", r.rate_dps);
+    }
+}

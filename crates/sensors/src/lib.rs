@@ -1,0 +1,44 @@
+//! # hint-sensors — sensor models and mobility-hint extraction
+//!
+//! Implements Chapter 2 of *Improving Wireless Network Performance Using
+//! Sensor Hints*: the sensors found on commodity mobile devices and the
+//! algorithms that turn their raw output into **mobility hints**.
+//!
+//! The paper's measurements used a Sparkfun serial accelerometer strapped to
+//! a laptop; this crate substitutes a synthetic 3-axis force process
+//! ([`accelerometer`]) driven by a ground-truth [`motion::MotionProfile`].
+//! The *hint extraction* algorithms, however, are implemented exactly as the
+//! paper specifies:
+//!
+//! * [`jerk::MovementDetector`] — Sec. 2.2.1's jerk detector: 2 ms force
+//!   reports, two adjacent 5-report averages, squared-difference "jerk"
+//!   value, threshold 3, 50-report hysteresis window. Detects transitions
+//!   in under 100 ms of simulated time (Fig. 2-2).
+//! * [`fusion::HeadingEstimator`] — Sec. 2.2.2: compass headings, optionally
+//!   stabilised by gyroscope integration in magnetically noisy environments.
+//! * [`gps`] — Sec. 2.2.3: outdoor position/speed/heading fixes (GPS locks
+//!   only outdoors; indoor queries return `None`, which Sec. 5.3 exploits to
+//!   detect outdoor operation).
+//!
+//! Downstream crates consume hints either directly (local protocols) or via
+//! the over-the-air hint protocol in `hint-mac`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerometer;
+pub mod compass;
+pub mod fusion;
+pub mod gps;
+pub mod gyro;
+pub mod hints;
+pub mod jerk;
+pub mod microphone;
+pub mod motion;
+pub mod speed;
+pub mod wifi_loc;
+
+pub use accelerometer::{Accelerometer, ForceReport, ACCEL_REPORT_PERIOD};
+pub use hints::{HeadingHint, MobilityHints, MovementHint, PositionHint, SpeedHint};
+pub use jerk::{MovementDetector, JERK_THRESHOLD};
+pub use motion::{MotionProfile, MotionSegment, MotionState};

@@ -1,0 +1,240 @@
+//! Microphone-based environment-dynamism hint (Sec. 5.6).
+//!
+//! "A changing environment (e.g., caused by pedestrians or driving cars)
+//! surrounding a static node can induce dynamic channel conditions similar
+//! to what would be experienced if the node itself were moving. ... To
+//! detect such conditions, a microphone can be used to measure noise
+//! variation, which is likely to be highly correlated with nearby
+//! activity."
+//!
+//! The model: ambient sound level (dBA) with a quiet floor plus activity
+//! bursts whose intensity follows an environment-activity parameter; the
+//! detector mirrors the jerk detector's structure — windowed variance
+//! against a threshold with hysteresis — and raises a *dynamism hint* that
+//! a rate-adaptation protocol can treat like a movement hint for the
+//! channel (the paper: "in our experiments in such environments,
+//! RapidSample performed better than SampleRate").
+
+use hint_sim::{RngStream, SimDuration, SimTime};
+
+/// Microphone sampling period (ambient level estimates at 10 Hz).
+pub const MIC_SAMPLE_PERIOD: SimDuration = SimDuration::from_millis(100);
+
+/// One ambient-level sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoundLevel {
+    /// Sample timestamp.
+    pub t: SimTime,
+    /// A-weighted ambient level, dBA.
+    pub dba: f64,
+}
+
+/// How busy the surroundings are.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActivityProfile {
+    /// Quiet-floor level, dBA (an empty office ≈ 35).
+    pub floor_dba: f64,
+    /// Mean bursts per second (passing people/cars).
+    pub burst_rate_hz: f64,
+    /// Mean burst loudness above the floor, dB.
+    pub burst_gain_db: f64,
+}
+
+impl ActivityProfile {
+    /// A quiet, static environment (late-night office).
+    pub fn quiet() -> Self {
+        ActivityProfile {
+            floor_dba: 35.0,
+            burst_rate_hz: 0.02,
+            burst_gain_db: 8.0,
+        }
+    }
+
+    /// A lightly crowded pavement (the paper's outdoor setting).
+    pub fn busy() -> Self {
+        ActivityProfile {
+            floor_dba: 45.0,
+            burst_rate_hz: 0.8,
+            burst_gain_db: 18.0,
+        }
+    }
+}
+
+/// Synthetic microphone producing 10 Hz ambient-level samples.
+#[derive(Clone, Debug)]
+pub struct Microphone {
+    profile: ActivityProfile,
+    rng: RngStream,
+    t: SimTime,
+    /// Remaining decay of the current burst, dB.
+    burst_db: f64,
+}
+
+impl Microphone {
+    /// Create a microphone in the given activity environment.
+    pub fn new(profile: ActivityProfile, rng: RngStream) -> Self {
+        Microphone {
+            profile,
+            rng,
+            t: SimTime::ZERO,
+            burst_db: 0.0,
+        }
+    }
+
+    /// Produce the next 100 ms sample.
+    pub fn next_sample(&mut self) -> SoundLevel {
+        let t = self.t;
+        // New bursts arrive as a Bernoulli thinning of the burst rate.
+        let p_burst = self.profile.burst_rate_hz * MIC_SAMPLE_PERIOD.as_secs_f64();
+        if self.rng.chance(p_burst) {
+            self.burst_db = self.profile.burst_gain_db * (0.5 + self.rng.uniform());
+        }
+        let level = self.profile.floor_dba + self.burst_db + self.rng.normal() * 1.5;
+        // Bursts decay over ~1 s.
+        self.burst_db *= 0.9;
+        self.t += MIC_SAMPLE_PERIOD;
+        SoundLevel { t, dba: level }
+    }
+}
+
+/// Windowed-variance dynamism detector over ambient-level samples.
+///
+/// Raises the hint when the standard deviation of the last `window`
+/// samples exceeds `threshold_db`, and holds it for `hold` samples after
+/// the variance subsides (hysteresis, like the jerk detector's 50-report
+/// window).
+#[derive(Clone, Debug)]
+pub struct DynamismDetector {
+    window: Vec<f64>,
+    cap: usize,
+    threshold_db: f64,
+    hold: usize,
+    since_active: usize,
+    dynamic: bool,
+}
+
+impl Default for DynamismDetector {
+    fn default() -> Self {
+        Self::new(30, 4.0, 50)
+    }
+}
+
+impl DynamismDetector {
+    /// Detector over `window` samples with the given stddev threshold and
+    /// hysteresis hold (in samples).
+    pub fn new(window: usize, threshold_db: f64, hold: usize) -> Self {
+        assert!(window >= 2, "variance needs >= 2 samples");
+        DynamismDetector {
+            window: Vec::with_capacity(window),
+            cap: window,
+            threshold_db,
+            hold,
+            since_active: usize::MAX,
+            dynamic: false,
+        }
+    }
+
+    /// Current dynamism hint.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// Feed one sample; returns the updated hint.
+    pub fn push(&mut self, s: &SoundLevel) -> bool {
+        if self.window.len() == self.cap {
+            self.window.remove(0);
+        }
+        self.window.push(s.dba);
+        let sd = if self.window.len() < 2 {
+            0.0
+        } else {
+            let m = self.window.iter().sum::<f64>() / self.window.len() as f64;
+            (self.window.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
+                / (self.window.len() - 1) as f64)
+                .sqrt()
+        };
+        if sd > self.threshold_db {
+            self.since_active = 0;
+        } else {
+            self.since_active = self.since_active.saturating_add(1);
+        }
+        self.dynamic = self.since_active <= self.hold;
+        self.dynamic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_detector(profile: ActivityProfile, secs: u64, seed: u64) -> f64 {
+        let mut mic = Microphone::new(profile, RngStream::new(seed).derive("mic"));
+        let mut det = DynamismDetector::default();
+        let n = secs * 10;
+        let mut active = 0u64;
+        for _ in 0..n {
+            let s = mic.next_sample();
+            if det.push(&s) {
+                active += 1;
+            }
+        }
+        active as f64 / n as f64
+    }
+
+    #[test]
+    fn quiet_environment_rarely_triggers() {
+        let frac = run_detector(ActivityProfile::quiet(), 600, 1);
+        assert!(frac < 0.25, "quiet dynamism fraction {frac:.2}");
+    }
+
+    #[test]
+    fn busy_environment_mostly_triggers() {
+        let frac = run_detector(ActivityProfile::busy(), 600, 2);
+        assert!(frac > 0.6, "busy dynamism fraction {frac:.2}");
+    }
+
+    #[test]
+    fn busy_exceeds_quiet_across_seeds() {
+        for seed in 10..15 {
+            let q = run_detector(ActivityProfile::quiet(), 300, seed);
+            let b = run_detector(ActivityProfile::busy(), 300, seed + 100);
+            assert!(b > q + 0.3, "seed {seed}: busy {b:.2} vs quiet {q:.2}");
+        }
+    }
+
+    #[test]
+    fn hysteresis_holds_after_burst() {
+        let mut det = DynamismDetector::new(10, 3.0, 20);
+        let mk = |i: u64, dba: f64| SoundLevel {
+            t: SimTime::from_millis(i * 100),
+            dba,
+        };
+        // Quiet warm-up.
+        for i in 0..20 {
+            det.push(&mk(i, 40.0));
+        }
+        assert!(!det.is_dynamic());
+        // One loud burst.
+        for i in 20..25 {
+            det.push(&mk(i, 60.0));
+        }
+        assert!(det.is_dynamic());
+        // Back to quiet: hint held for the hold window, then cleared.
+        let mut cleared_at = None;
+        for i in 25..80 {
+            if !det.push(&mk(i, 40.0)) {
+                cleared_at = Some(i);
+                break;
+            }
+        }
+        let c = cleared_at.expect("eventually clears");
+        assert!((40..=60).contains(&c), "cleared at sample {c}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_detector(ActivityProfile::busy(), 100, 7);
+        let b = run_detector(ActivityProfile::busy(), 100, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Indoor speed estimation from the accelerometer (Sec. 2.2.3).
+//!
+//! "Indoors, we can approximate the speed by integrating the time-series
+//! of values reported by the accelerometer (the results will be more
+//! approximate than outdoors, but the range of speeds is a lot smaller)."
+//!
+//! Naïve double integration of raw force diverges within seconds (bias and
+//! gravity leakage integrate quadratically), so practical pedestrian
+//! estimators anchor the integral with **zero-velocity updates**: whenever
+//! the movement hint says the device is still, the velocity estimate is
+//! reset and the accumulated bias re-estimated. That is exactly the
+//! synergy available here — the Sec. 2.2.1 movement hint provides the
+//! stillness anchor for the Sec. 2.2.3 speed estimate.
+
+use crate::accelerometer::{ForceReport, ACCEL_REPORT_PERIOD};
+use crate::jerk::MovementDetector;
+
+/// Custom-unit-to-m/s² conversion for the synthetic sensor. The paper's
+/// hint algorithms never calibrate; the speed estimator is the one place
+/// a scale is needed, and it is a per-sensor-type constant (like the jerk
+/// threshold), not a per-device calibration.
+pub const FORCE_UNIT_TO_MS2: f64 = 1.0;
+
+/// Walking-band clamp, m/s. Indoor speeds live well below 3 m/s; the
+/// clamp bounds integration error ("the range of speeds is a lot
+/// smaller").
+pub const MAX_INDOOR_SPEED: f64 = 3.0;
+
+/// Streaming indoor speed estimator.
+///
+/// Feed every accelerometer report; query [`IndoorSpeedEstimator::speed_mps`].
+#[derive(Clone, Debug)]
+pub struct IndoorSpeedEstimator {
+    detector: MovementDetector,
+    /// Estimated per-axis force bias (gravity + mounting), custom units.
+    bias: [f64; 3],
+    /// Horizontal-plane velocity estimate, m/s (magnitude tracked
+    /// directly; heading comes from the compass/gyro pipeline instead).
+    speed: f64,
+    /// Samples seen while still, for bias averaging.
+    still_samples: u64,
+    /// Smoothed output.
+    smoothed: f64,
+}
+
+impl Default for IndoorSpeedEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndoorSpeedEstimator {
+    /// Fresh estimator (speed 0 until the device moves).
+    pub fn new() -> Self {
+        IndoorSpeedEstimator {
+            detector: MovementDetector::new(),
+            bias: [0.0; 3],
+            speed: 0.0,
+            still_samples: 0,
+            smoothed: 0.0,
+        }
+    }
+
+    /// Current speed estimate, m/s.
+    pub fn speed_mps(&self) -> f64 {
+        self.smoothed
+    }
+
+    /// Whether the embedded movement detector currently reports motion.
+    pub fn is_moving(&self) -> bool {
+        self.detector.is_moving()
+    }
+
+    /// Feed one 2 ms force report; returns the updated speed estimate.
+    pub fn push(&mut self, report: &ForceReport) -> f64 {
+        let moving = self.detector.push(report).moving;
+        let dt = ACCEL_REPORT_PERIOD.as_secs_f64();
+
+        if !moving {
+            // Zero-velocity update: anchor the integral and refine the
+            // bias estimate with a running mean.
+            self.speed = 0.0;
+            self.still_samples += 1;
+            let n = self.still_samples.min(5_000) as f64;
+            self.bias[0] += (report.x - self.bias[0]) / n;
+            self.bias[1] += (report.y - self.bias[1]) / n;
+            self.bias[2] += (report.z - self.bias[2]) / n;
+        } else {
+            // Integrate the bias-corrected horizontal force magnitude.
+            // Oscillatory gait forces mostly cancel over a stride; what
+            // survives integration tracks sustained acceleration, and the
+            // walking-band clamp bounds the residual drift.
+            let ax = (report.x - self.bias[0]) * FORCE_UNIT_TO_MS2;
+            let ay = (report.y - self.bias[1]) * FORCE_UNIT_TO_MS2;
+            let a_h = (ax * ax + ay * ay).sqrt();
+            // Gait model: net forward acceleration is a small fraction of
+            // the oscillation amplitude; integrate with strong leak so the
+            // estimate settles at a level proportional to shake intensity.
+            self.speed += (0.35 * a_h - 1.8 * self.speed) * dt;
+            self.speed = self.speed.clamp(0.0, MAX_INDOOR_SPEED);
+        }
+
+        // Output smoothing (~0.5 s).
+        self.smoothed += (self.speed - self.smoothed) * (dt / 0.5).min(1.0);
+        self.smoothed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerometer::Accelerometer;
+    use crate::motion::MotionProfile;
+    use hint_sim::{RngStream, SimDuration, SimTime};
+
+    fn run(profile: MotionProfile, seed: u64) -> Vec<(SimTime, f64)> {
+        let dur = profile.duration();
+        let mut accel = Accelerometer::new(profile, RngStream::new(seed).derive("speed"));
+        let mut est = IndoorSpeedEstimator::new();
+        let mut out = Vec::new();
+        loop {
+            let r = accel.next_report();
+            if r.t.as_micros() >= dur.as_micros() {
+                break;
+            }
+            let s = est.push(&r);
+            out.push((r.t, s));
+        }
+        out
+    }
+
+    #[test]
+    fn static_device_reads_zero() {
+        let series = run(MotionProfile::stationary(SimDuration::from_secs(30)), 1);
+        let max = series.iter().map(|s| s.1).fold(0.0, f64::max);
+        assert!(max < 0.1, "static speed estimate {max}");
+    }
+
+    #[test]
+    fn walking_reads_in_the_walking_band() {
+        let series = run(
+            MotionProfile::walking(SimDuration::from_secs(60), 1.4, 0.0),
+            2,
+        );
+        // Score the settled portion.
+        let settled: Vec<f64> = series
+            .iter()
+            .filter(|(t, _)| *t > SimTime::from_secs(10))
+            .map(|(_, s)| *s)
+            .collect();
+        let mean = settled.iter().sum::<f64>() / settled.len() as f64;
+        assert!(
+            (0.3..=3.0).contains(&mean),
+            "walking estimate {mean:.2} m/s out of band"
+        );
+    }
+
+    #[test]
+    fn speed_resets_when_stopping() {
+        let profile = MotionProfile::static_move_static(
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(20),
+        );
+        let series = run(profile, 3);
+        // Mid-walk: positive estimate.
+        let mid = series
+            .iter()
+            .find(|(t, _)| *t >= SimTime::from_secs(25))
+            .unwrap()
+            .1;
+        assert!(mid > 0.2, "mid-walk {mid:.2}");
+        // Two seconds after stopping: back near zero.
+        let after = series
+            .iter()
+            .find(|(t, _)| *t >= SimTime::from_secs(33))
+            .unwrap()
+            .1;
+        assert!(after < 0.15, "post-stop {after:.2}");
+    }
+
+    #[test]
+    fn estimate_never_exceeds_clamp_or_goes_negative() {
+        let series = run(
+            MotionProfile::walking(SimDuration::from_secs(30), 2.5, 0.0),
+            4,
+        );
+        for (_, s) in series {
+            assert!((0.0..=MAX_INDOOR_SPEED).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = MotionProfile::walking(SimDuration::from_secs(5), 1.4, 0.0);
+        assert_eq!(run(p.clone(), 9), run(p, 9));
+    }
+}

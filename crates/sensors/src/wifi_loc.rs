@@ -1,0 +1,190 @@
+//! Indoor positioning by WiFi localization (Sec. 2.2.3).
+//!
+//! "For indoor positioning, we can use WiFi localization." The standard
+//! technique is RSSI multilateration against APs at known positions: each
+//! RSSI reading implies a distance through the log-distance path-loss
+//! model; a weighted least-squares descent fits the position.
+//!
+//! Accuracy is metres-scale — far coarser than GPS headings, which is why
+//! the paper's indoor protocols lean on the movement and heading hints and
+//! use position only for slower decisions (e.g. AP association scoring).
+
+use crate::gps::Position;
+use hint_sim::RngStream;
+
+/// Log-distance path-loss model: `rssi = tx_dbm − 10·n·log10(d/1m)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathLossModel {
+    /// RSSI at 1 m, dBm.
+    pub tx_dbm: f64,
+    /// Path-loss exponent (indoor: 2.5–4).
+    pub exponent: f64,
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        PathLossModel {
+            tx_dbm: -40.0,
+            exponent: 3.0,
+        }
+    }
+}
+
+impl PathLossModel {
+    /// Expected RSSI at distance `d_m` (d clamped to ≥ 0.5 m).
+    pub fn rssi_at(&self, d_m: f64) -> f64 {
+        self.tx_dbm - 10.0 * self.exponent * d_m.max(0.5).log10()
+    }
+
+    /// Distance implied by an RSSI reading.
+    pub fn distance_for(&self, rssi_dbm: f64) -> f64 {
+        10f64.powf((self.tx_dbm - rssi_dbm) / (10.0 * self.exponent))
+    }
+}
+
+/// One AP observation: known position + measured RSSI.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApObservation {
+    /// The AP's surveyed position, metres.
+    pub position: Position,
+    /// Measured RSSI, dBm.
+    pub rssi_dbm: f64,
+}
+
+/// Simulate a scan: RSSI from each AP at the true position, with
+/// log-normal shadowing noise of `sigma_db`.
+pub fn simulate_scan(
+    aps: &[Position],
+    true_pos: Position,
+    model: &PathLossModel,
+    sigma_db: f64,
+    rng: &mut RngStream,
+) -> Vec<ApObservation> {
+    aps.iter()
+        .map(|&ap| ApObservation {
+            position: ap,
+            rssi_dbm: model.rssi_at(ap.distance(true_pos)) + rng.normal() * sigma_db,
+        })
+        .collect()
+}
+
+/// Estimate a position from AP observations by weighted least-squares
+/// gradient descent on the range residuals. Returns `None` with fewer
+/// than three observations (the 2-D problem is underdetermined).
+pub fn localize(obs: &[ApObservation], model: &PathLossModel) -> Option<Position> {
+    if obs.len() < 3 {
+        return None;
+    }
+    // Initialise at the RSSI-weighted centroid (stronger = closer).
+    let mut wsum = 0.0;
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for o in obs {
+        let w = 10f64.powf(o.rssi_dbm / 20.0);
+        wsum += w;
+        x += w * o.position.x;
+        y += w * o.position.y;
+    }
+    let mut p = Position {
+        x: x / wsum,
+        y: y / wsum,
+    };
+
+    // Gauss–Newton-ish descent on Σ wᵢ (|p − apᵢ| − rᵢ)².
+    let ranges: Vec<f64> = obs.iter().map(|o| model.distance_for(o.rssi_dbm)).collect();
+    for _ in 0..200 {
+        let mut gx = 0.0;
+        let mut gy = 0.0;
+        for (o, &r) in obs.iter().zip(&ranges) {
+            let dx = p.x - o.position.x;
+            let dy = p.y - o.position.y;
+            let d = (dx * dx + dy * dy).sqrt().max(0.1);
+            // Near APs carry more information (their range error in
+            // metres is smaller for the same dB error).
+            let w = 1.0 / r.max(1.0);
+            let res = d - r;
+            gx += w * res * dx / d;
+            gy += w * res * dy / d;
+        }
+        p.x -= 0.5 * gx;
+        p.y -= 0.5 * gy;
+    }
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_aps() -> Vec<Position> {
+        vec![
+            Position { x: 0.0, y: 0.0 },
+            Position { x: 40.0, y: 0.0 },
+            Position { x: 0.0, y: 40.0 },
+            Position { x: 40.0, y: 40.0 },
+            Position { x: 20.0, y: 20.0 },
+        ]
+    }
+
+    #[test]
+    fn path_loss_roundtrip() {
+        let m = PathLossModel::default();
+        for d in [1.0, 5.0, 20.0, 80.0] {
+            let rssi = m.rssi_at(d);
+            assert!((m.distance_for(rssi) - d).abs() < 1e-9);
+        }
+        // Monotone: farther = weaker.
+        assert!(m.rssi_at(10.0) < m.rssi_at(2.0));
+    }
+
+    #[test]
+    fn noiseless_localization_is_exact() {
+        let m = PathLossModel::default();
+        let truth = Position { x: 13.0, y: 27.0 };
+        let obs: Vec<ApObservation> = square_aps()
+            .into_iter()
+            .map(|ap| ApObservation {
+                position: ap,
+                rssi_dbm: m.rssi_at(ap.distance(truth)),
+            })
+            .collect();
+        let est = localize(&obs, &m).expect("enough APs");
+        assert!(est.distance(truth) < 0.5, "error {:.2} m", est.distance(truth));
+    }
+
+    #[test]
+    fn noisy_localization_is_metres_scale() {
+        let m = PathLossModel::default();
+        let mut rng = RngStream::new(77).derive("wifi-loc");
+        let mut errs = Vec::new();
+        for i in 0..50 {
+            let truth = Position {
+                x: 5.0 + (i as f64 * 7.3) % 30.0,
+                y: 5.0 + (i as f64 * 11.1) % 30.0,
+            };
+            let obs = simulate_scan(&square_aps(), truth, &m, 3.0, &mut rng);
+            let est = localize(&obs, &m).expect("enough APs");
+            errs.push(est.distance(truth));
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        // Typical WiFi localization accuracy: a few metres.
+        assert!((0.5..8.0).contains(&mean), "mean error {mean:.1} m");
+        let max = errs.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 25.0, "max error {max:.1} m");
+    }
+
+    #[test]
+    fn underdetermined_scans_return_none() {
+        let m = PathLossModel::default();
+        assert_eq!(localize(&[], &m), None);
+        let two: Vec<ApObservation> = square_aps()
+            .into_iter()
+            .take(2)
+            .map(|ap| ApObservation {
+                position: ap,
+                rssi_dbm: -60.0,
+            })
+            .collect();
+        assert_eq!(localize(&two, &m), None);
+    }
+}

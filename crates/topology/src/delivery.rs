@@ -1,0 +1,323 @@
+//! Delivery-probability estimation and estimate-vs-actual error.
+//!
+//! Sec. 4.1: "We calculate the actual delivery probability over a sliding
+//! window [of] 10 packets from these rapidly sent probes, sub-sampling the
+//! outcome of these probes to determine the delivery probability at
+//! different probing rates. ... we calculate the error in the delivery
+//! probability estimate as a function of the probing rate":
+//!
+//! ```text
+//! Error = |Observed probability − Actual probability|
+//! ```
+//!
+//! The *actual* series windows the full 200/s stream (10 probes = 50 ms of
+//! channel truth); an *observed* series at probing rate `f` windows the
+//! sub-sampled stream (10 probes = `10/f` seconds — stale by construction
+//! at low `f`, which is precisely what movement punishes).
+
+use crate::probes::{Probe, ProbeStream};
+use hint_sim::{SimTime, OnlineStats};
+
+/// The estimation window: 10 probes (the paper's choice).
+pub const WINDOW_PROBES: usize = 10;
+
+/// A delivery-probability sample at a point in time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeliverySample {
+    /// When the estimate was produced (time of the window's newest probe).
+    pub t: SimTime,
+    /// Estimated delivery probability over the window.
+    pub p: f64,
+}
+
+/// Streaming sliding-window delivery estimator.
+#[derive(Clone, Debug)]
+pub struct DeliveryEstimator {
+    window: Vec<bool>,
+    cap: usize,
+}
+
+impl Default for DeliveryEstimator {
+    fn default() -> Self {
+        Self::new(WINDOW_PROBES)
+    }
+}
+
+impl DeliveryEstimator {
+    /// Estimator over the last `cap` probes.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "window must be positive");
+        DeliveryEstimator {
+            window: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Fold in one probe outcome and return the current estimate.
+    pub fn push(&mut self, delivered: bool) -> f64 {
+        if self.window.len() == self.cap {
+            self.window.remove(0);
+        }
+        self.window.push(delivered);
+        self.estimate()
+    }
+
+    /// Current estimate (0.0 before any probe).
+    pub fn estimate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().filter(|&&d| d).count() as f64 / self.window.len() as f64
+    }
+
+    /// True once the window is full (estimates before that are warm-up).
+    pub fn warmed_up(&self) -> bool {
+        self.window.len() == self.cap
+    }
+}
+
+/// The "actual" delivery series: window the full 200/s stream.
+pub fn actual_series(stream: &ProbeStream) -> Vec<DeliverySample> {
+    series_over(stream.probes())
+}
+
+/// The observed series at a sub-sampled probing rate.
+pub fn observed_series(stream: &ProbeStream, rate_hz: f64) -> Vec<DeliverySample> {
+    series_over(&stream.subsample(rate_hz))
+}
+
+/// Window a probe sequence into delivery samples (one per probe once the
+/// window has warmed up).
+fn series_over(probes: &[Probe]) -> Vec<DeliverySample> {
+    let mut est = DeliveryEstimator::default();
+    let mut out = Vec::new();
+    for p in probes {
+        let v = est.push(p.delivered);
+        if est.warmed_up() {
+            out.push(DeliverySample { t: p.t, p: v });
+        }
+    }
+    out
+}
+
+/// Look up the actual probability at time `t` (the most recent actual
+/// sample at or before `t`; the first one if `t` precedes warm-up).
+pub fn actual_at(actual: &[DeliverySample], t: SimTime) -> f64 {
+    match actual.binary_search_by(|s| s.t.cmp(&t)) {
+        Ok(i) => actual[i].p,
+        Err(0) => actual.first().map(|s| s.p).unwrap_or(0.0),
+        Err(i) => actual[i - 1].p,
+    }
+}
+
+/// Mean absolute estimate error of probing at `rate_hz`, versus the actual
+/// series, over one trace. Returns the error statistics (mean, stddev)
+/// across the observed samples.
+pub fn estimate_error(stream: &ProbeStream, rate_hz: f64) -> OnlineStats {
+    let actual = actual_series(stream);
+    let observed = observed_series(stream, rate_hz);
+    let mut stats = OnlineStats::new();
+    for s in &observed {
+        stats.push((s.p - actual_at(&actual, s.t)).abs());
+    }
+    stats
+}
+
+/// Time-held tracking error: an estimator's output is held (zero-order
+/// hold) between its samples, and compared against the actual series on a
+/// uniform grid of `step`-spaced instants. This is the error a *consumer*
+/// of the estimate experiences — a routing protocol reads the latest
+/// estimate whenever it makes a decision, not only at probe instants —
+/// and it is the quantity Fig. 4-6's time series makes visible (the 1
+/// probe/s strategy "lags by multiple seconds").
+pub fn held_tracking_error(
+    estimates: &[DeliverySample],
+    actual: &[DeliverySample],
+    step: hint_sim::SimDuration,
+) -> OnlineStats {
+    let mut stats = OnlineStats::new();
+    let (Some(first), Some(last)) = (actual.first(), actual.last()) else {
+        return stats;
+    };
+    let mut t = first.t;
+    while t <= last.t {
+        let held = match estimates.binary_search_by(|s| s.t.cmp(&t)) {
+            Ok(i) => Some(estimates[i].p),
+            Err(0) => None, // estimator not warmed up yet: skip
+            Err(i) => Some(estimates[i - 1].p),
+        };
+        if let Some(est) = held {
+            stats.push((est - actual_at(actual, t)).abs());
+        }
+        t += step;
+    }
+    stats
+}
+
+/// Fig. 4-1's per-second delivery ratio series: bucket the full stream
+/// into one-second intervals.
+pub fn per_second_delivery(stream: &ProbeStream) -> Vec<f64> {
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    for p in stream.probes() {
+        let sec = (p.t.as_micros() / 1_000_000) as usize;
+        if sec >= buckets.len() {
+            buckets.resize(sec + 1, (0, 0));
+        }
+        buckets[sec].1 += 1;
+        if p.delivered {
+            buckets[sec].0 += 1;
+        }
+    }
+    buckets
+        .iter()
+        .map(|&(ok, n)| if n == 0 { 0.0 } else { ok as f64 / n as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_channel::{Environment, Trace};
+    use hint_mac::BitRate;
+    use hint_sensors::MotionProfile;
+    use hint_sim::SimDuration;
+
+    fn stream(moving: bool, secs: u64, seed: u64) -> ProbeStream {
+        let p = if moving {
+            MotionProfile::walking(SimDuration::from_secs(secs), 1.4, 0.0)
+        } else {
+            MotionProfile::stationary(SimDuration::from_secs(secs))
+        };
+        let t = Trace::generate(
+            &Environment::mesh_edge(),
+            &p,
+            SimDuration::from_secs(secs),
+            seed,
+        );
+        ProbeStream::from_trace(&t, BitRate::R6, seed ^ 0xABCD)
+    }
+
+    #[test]
+    fn estimator_windows_correctly() {
+        let mut e = DeliveryEstimator::new(4);
+        assert_eq!(e.estimate(), 0.0);
+        e.push(true);
+        e.push(true);
+        assert_eq!(e.estimate(), 1.0);
+        assert!(!e.warmed_up());
+        e.push(false);
+        e.push(false);
+        assert!(e.warmed_up());
+        assert_eq!(e.estimate(), 0.5);
+        // Oldest (true) slides out.
+        e.push(false);
+        assert_eq!(e.estimate(), 0.25);
+    }
+
+    #[test]
+    fn actual_series_has_one_sample_per_probe_after_warmup() {
+        let s = stream(false, 5, 1);
+        let a = actual_series(&s);
+        assert_eq!(a.len(), s.len() - WINDOW_PROBES + 1);
+        for w in a.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    fn actual_at_interpolates_by_holding() {
+        let samples = vec![
+            DeliverySample {
+                t: SimTime::from_secs(1),
+                p: 0.5,
+            },
+            DeliverySample {
+                t: SimTime::from_secs(2),
+                p: 0.9,
+            },
+        ];
+        assert_eq!(actual_at(&samples, SimTime::from_millis(500)), 0.5);
+        assert_eq!(actual_at(&samples, SimTime::from_secs(1)), 0.5);
+        assert_eq!(actual_at(&samples, SimTime::from_millis(1500)), 0.5);
+        assert_eq!(actual_at(&samples, SimTime::from_secs(3)), 0.9);
+    }
+
+    #[test]
+    fn error_grows_as_probing_slows_mobile() {
+        let s = stream(true, 120, 3);
+        let e10 = estimate_error(&s, 10.0).mean();
+        let e1 = estimate_error(&s, 1.0).mean();
+        let e05 = estimate_error(&s, 0.5).mean();
+        assert!(
+            e10 < e1 && e1 <= e05 + 0.02,
+            "mobile errors should grow as rate falls: {e10:.3} {e1:.3} {e05:.3}"
+        );
+    }
+
+    #[test]
+    fn mobile_needs_much_higher_rate_than_static() {
+        // The Ch. 4 headline: at the same probing rate, mobile error is
+        // several times the static error.
+        let mut static_err = OnlineStats::new();
+        let mut mobile_err = OnlineStats::new();
+        for seed in 0..5 {
+            static_err.merge(&estimate_error(&stream(false, 120, 100 + seed), 1.0));
+            mobile_err.merge(&estimate_error(&stream(true, 120, 200 + seed), 1.0));
+        }
+        assert!(
+            mobile_err.mean() > 2.5 * static_err.mean(),
+            "mobile {:.3} vs static {:.3} at 1 probe/s",
+            mobile_err.mean(),
+            static_err.mean()
+        );
+    }
+
+    #[test]
+    fn static_error_at_half_probe_per_second_is_small() {
+        let mut err = OnlineStats::new();
+        for seed in 0..5 {
+            err.merge(&estimate_error(&stream(false, 180, 300 + seed), 0.5));
+        }
+        assert!(err.mean() < 0.12, "static error at 0.5/s: {:.3}", err.mean());
+    }
+
+    #[test]
+    fn mobile_delivery_fluctuates_per_second() {
+        // Fig. 4-1: motion causes second-to-second delivery jumps > 20%.
+        let s = stream(true, 60, 5);
+        let per_sec = per_second_delivery(&s);
+        let max_jump = per_sec
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
+        assert!(max_jump > 0.2, "max per-second jump {max_jump:.2}");
+    }
+
+    #[test]
+    fn static_delivery_is_much_steadier_than_mobile() {
+        // Fig. 4-1's contrast: the static portion of the series is far
+        // steadier second-to-second than the moving portion. (A static
+        // link still drifts slowly with environmental churn, so we compare
+        // mean jumps rather than demanding a flat line.)
+        let jumpiness = |s: &ProbeStream| {
+            let per_sec = per_second_delivery(s);
+            let jumps: Vec<f64> = per_sec.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+            jumps.iter().sum::<f64>() / jumps.len() as f64
+        };
+        let mut static_j = 0.0;
+        let mut mobile_j = 0.0;
+        for seed in 0..5 {
+            static_j += jumpiness(&stream(false, 60, 400 + seed));
+            mobile_j += jumpiness(&stream(true, 60, 500 + seed));
+        }
+        assert!(
+            mobile_j > 2.0 * static_j,
+            "mobile jumpiness {:.3} vs static {:.3}",
+            mobile_j / 5.0,
+            static_j / 5.0
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Probe streams and sub-sampling (Sec. 4.1's measurement method).
+//!
+//! "Our experimental setup has the sender sending a probe at an aggressive
+//! (essentially continuous) rate of 200 probes per second. ... to compute
+//! the loss rate at a probing rate of 10 packets per second, we sub-sample
+//! the original 200 packets per second stream at the lower rate."
+//!
+//! 200 probes/s is exactly one probe per 5 ms trace slot, so the reference
+//! stream reads one fate per slot at 6 Mbit/s (the paper's Fig. 4-1 rate),
+//! thinned by the environment's per-packet noise loss.
+
+use hint_channel::Trace;
+use hint_mac::BitRate;
+use hint_sim::{RngStream, SimTime};
+
+/// The reference probing rate: 200 probes per second (one per 5 ms slot).
+pub const FULL_PROBE_RATE_HZ: f64 = 200.0;
+
+/// A probe outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Probe {
+    /// When the probe was sent.
+    pub t: SimTime,
+    /// Whether it was delivered.
+    pub delivered: bool,
+}
+
+/// The full-rate (200/s) probe stream over one trace.
+#[derive(Clone, Debug)]
+pub struct ProbeStream {
+    probes: Vec<Probe>,
+}
+
+impl ProbeStream {
+    /// Send one probe per 5 ms slot at `rate` over the whole trace.
+    pub fn from_trace(trace: &Trace, rate: BitRate, seed: u64) -> Self {
+        let mut noise = RngStream::new(seed).derive("probe-noise");
+        let probes = trace
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let t = SimTime::from_micros(i as u64 * hint_channel::SLOT_DURATION.as_micros());
+                Probe {
+                    t,
+                    delivered: slot.fates[rate.index()] && !noise.chance(trace.noise_loss),
+                }
+            })
+            .collect();
+        ProbeStream { probes }
+    }
+
+    /// The probes, in time order.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Number of probes (= trace slots).
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True if there are no probes.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Sub-sample the stream at `rate_hz` probes per second, keeping every
+    /// `200 / rate_hz`-th probe (the paper's method).
+    ///
+    /// # Panics
+    /// Panics if `rate_hz` is non-positive or above the full rate.
+    pub fn subsample(&self, rate_hz: f64) -> Vec<Probe> {
+        assert!(
+            rate_hz > 0.0 && rate_hz <= FULL_PROBE_RATE_HZ,
+            "probing rate {rate_hz} out of (0, 200]"
+        );
+        let stride = (FULL_PROBE_RATE_HZ / rate_hz).round().max(1.0) as usize;
+        self.probes.iter().copied().step_by(stride).collect()
+    }
+
+    /// Overall delivery ratio of the full stream.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.probes.is_empty() {
+            return 0.0;
+        }
+        self.probes.iter().filter(|p| p.delivered).count() as f64 / self.probes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_channel::Environment;
+    use hint_sensors::MotionProfile;
+    use hint_sim::SimDuration;
+
+    fn trace(secs: u64) -> Trace {
+        let p = MotionProfile::stationary(SimDuration::from_secs(secs));
+        Trace::generate(&Environment::mesh_edge(), &p, SimDuration::from_secs(secs), 1)
+    }
+
+    #[test]
+    fn one_probe_per_slot() {
+        let t = trace(10);
+        let s = ProbeStream::from_trace(&t, BitRate::R6, 2);
+        assert_eq!(s.len(), 2000);
+        assert_eq!(s.probes()[1].t, SimTime::from_micros(5000));
+    }
+
+    #[test]
+    fn subsample_strides_correctly() {
+        let t = trace(10);
+        let s = ProbeStream::from_trace(&t, BitRate::R6, 2);
+        assert_eq!(s.subsample(200.0).len(), 2000);
+        assert_eq!(s.subsample(10.0).len(), 100);
+        assert_eq!(s.subsample(1.0).len(), 10);
+        // 0.5 probes/s over 10 s = 5 probes.
+        assert_eq!(s.subsample(0.5).len(), 5);
+        // Sub-sampled probes keep their original timestamps.
+        let sub = s.subsample(1.0);
+        assert_eq!(sub[1].t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn static_mesh_edge_delivers_well() {
+        let t = trace(30);
+        let s = ProbeStream::from_trace(&t, BitRate::R6, 2);
+        let d = s.delivery_ratio();
+        assert!(d > 0.85, "static 6 Mbps delivery {d:.2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversampling_rejected() {
+        let t = trace(1);
+        let s = ProbeStream::from_trace(&t, BitRate::R6, 2);
+        let _ = s.subsample(400.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = trace(5);
+        let a = ProbeStream::from_trace(&t, BitRate::R6, 9);
+        let b = ProbeStream::from_trace(&t, BitRate::R6, 9);
+        assert_eq!(a.probes(), b.probes());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for topology maintenance.
+
+use hint_channel::{Environment, Trace};
+use hint_mac::BitRate;
+use hint_sensors::MotionProfile;
+use hint_sim::{SimDuration, SimTime};
+use hint_topology::adaptive::{AdaptiveConfig, AdaptiveProber, ProbingMode};
+use hint_topology::delivery::{actual_at, actual_series, DeliveryEstimator};
+use hint_topology::etx::{etx, expected_overhead_monte_carlo, wrong_link_analysis};
+use hint_topology::ProbeStream;
+use proptest::prelude::*;
+
+proptest! {
+    /// The delivery estimator's output is always a valid probability and
+    /// equals the window mean exactly.
+    #[test]
+    fn estimator_matches_window_mean(outcomes in proptest::collection::vec(any::<bool>(), 1..100), cap in 1usize..20) {
+        let mut est = DeliveryEstimator::new(cap);
+        let mut window: Vec<bool> = Vec::new();
+        for &o in &outcomes {
+            let p = est.push(o);
+            window.push(o);
+            if window.len() > cap {
+                window.remove(0);
+            }
+            let want = window.iter().filter(|&&x| x).count() as f64 / window.len() as f64;
+            prop_assert!((p - want).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// Sub-sampling at the full rate reproduces the stream; lower rates
+    /// produce proportionally fewer probes with preserved timestamps.
+    #[test]
+    fn subsample_counts(seed in any::<u64>(), rate_denom in 1u32..40) {
+        let profile = MotionProfile::stationary(SimDuration::from_secs(10));
+        let trace = Trace::generate(&Environment::mesh_edge(), &profile, SimDuration::from_secs(10), seed);
+        let stream = ProbeStream::from_trace(&trace, BitRate::R6, seed);
+        let rate = 200.0 / f64::from(rate_denom);
+        let sub = stream.subsample(rate);
+        let stride = f64::from(rate_denom).round() as usize;
+        prop_assert_eq!(sub.len(), stream.len().div_ceil(stride));
+        for (k, p) in sub.iter().enumerate() {
+            prop_assert_eq!(p.t, stream.probes()[k * stride].t);
+        }
+    }
+
+    /// actual_at holds the last sample: it is piecewise constant and
+    /// never invents values outside the sample range.
+    #[test]
+    fn actual_at_holds(seed in any::<u64>(), q in 0u64..30_000_000) {
+        let profile = MotionProfile::walking(SimDuration::from_secs(30), 1.4, 0.0);
+        let trace = Trace::generate(&Environment::mesh_edge(), &profile, SimDuration::from_secs(30), seed);
+        let stream = ProbeStream::from_trace(&trace, BitRate::R6, seed);
+        let actual = actual_series(&stream);
+        let v = actual_at(&actual, SimTime::from_micros(q));
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// The adaptive prober's mode only depends on the hint history (fast
+    /// during movement, slow 1 s+hold after it stops), and probe counts
+    /// are bounded by the fast rate.
+    #[test]
+    fn adaptive_mode_invariant(hold_ms in 0u64..3000, move_secs in 1u64..20) {
+        let cfg = AdaptiveConfig {
+            slow_hz: 1.0,
+            fast_hz: 10.0,
+            hold_down: SimDuration::from_millis(hold_ms),
+        };
+        let mut p = AdaptiveProber::with_config(cfg);
+        // Move for move_secs...
+        for s in 0..move_secs * 10 {
+            p.on_hint(SimTime::from_millis(s * 100), true);
+            prop_assert_eq!(p.mode(), ProbingMode::Fast);
+        }
+        // ...then stop: fast through the hold-down, slow after.
+        let stop = SimTime::from_millis(move_secs * 1000);
+        p.on_hint(stop, false);
+        let just_before = stop + SimDuration::from_millis(hold_ms.saturating_sub(1));
+        p.on_hint(just_before, false);
+        if hold_ms > 1 {
+            prop_assert_eq!(p.mode(), ProbingMode::Fast);
+        }
+        let after = stop + SimDuration::from_millis(hold_ms + 1);
+        p.on_hint(after, false);
+        prop_assert_eq!(p.mode(), ProbingMode::Slow);
+    }
+
+    /// ETX algebra: etx is anti-monotone in p; the wrong-link analysis is
+    /// consistent (penalty ≥ 0, overhead ≥ 0, wrong pick possible iff the
+    /// gap is within 2δ).
+    #[test]
+    fn etx_algebra(p1 in 0.05f64..1.0, gap in 0.0f64..0.5, delta in 0.0f64..0.5) {
+        let p2 = (p1 - gap).max(0.01);
+        prop_assert!(etx(p2) >= etx(p1) - 1e-12);
+        let a = wrong_link_analysis(p1, p2, delta);
+        prop_assert!(a.penalty >= -1e-12);
+        prop_assert!(a.overhead >= -1e-12);
+        let expected = p2 + delta >= p1 - delta - 1e-12;
+        prop_assert_eq!(a.wrong_pick_possible, expected);
+    }
+
+    /// Monte-Carlo expected overhead is bounded by the conditional
+    /// overhead and zero when the error cannot flip the choice.
+    #[test]
+    fn etx_monte_carlo_bounded(delta in 0.0f64..0.4) {
+        let exp = expected_overhead_monte_carlo(0.8, 0.6, delta, 20_000, 7);
+        let cond = wrong_link_analysis(0.8, 0.6, delta).overhead;
+        prop_assert!(exp <= cond + 1e-12);
+        if delta < 0.1 {
+            prop_assert_eq!(exp, 0.0);
+        }
+    }
+}

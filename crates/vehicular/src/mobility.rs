@@ -1,0 +1,216 @@
+//! Vehicle mobility over a road network.
+//!
+//! Each vehicle shuttles along one road at an urban speed that wanders
+//! slowly (traffic), reversing at the road's ends. The simulation advances
+//! in one-second steps, matching the paper's "we simulate, for each
+//! second, the position of every vehicle in the network" (Sec. 5.1.2).
+
+use crate::roads::{Point, RoadNetwork};
+use hint_sim::RngStream;
+
+/// A vehicle's kinematic state at one sample instant.
+#[derive(Clone, Copy, Debug)]
+pub struct VehicleState {
+    /// Position, metres.
+    pub position: Point,
+    /// Travel heading, degrees clockwise from north.
+    pub heading_deg: f64,
+    /// Speed, m/s.
+    pub speed_mps: f64,
+}
+
+/// One vehicle bound to a road.
+#[derive(Clone, Debug)]
+struct Vehicle {
+    road: usize,
+    offset_m: f64,
+    dir: i8,
+    speed_mps: f64,
+    /// Per-vehicle base speed the wandering speed reverts to.
+    base_speed: f64,
+}
+
+/// A fleet of vehicles on a road network, simulated at 1 Hz.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    network: RoadNetwork,
+    vehicles: Vec<Vehicle>,
+    rng: RngStream,
+}
+
+/// Urban speed band, m/s (≈18–54 km/h), matching "a variety of day-time
+/// traffic conditions".
+pub const SPEED_MIN: f64 = 5.0;
+
+/// Upper end of the urban speed band, m/s.
+pub const SPEED_MAX: f64 = 15.0;
+
+impl Fleet {
+    /// Place `n_vehicles` uniformly over the network's roads with random
+    /// offsets and directions.
+    ///
+    /// Speeds are *flow-correlated*: each road has a traffic flow speed,
+    /// and vehicles on it travel at that flow ± a small per-vehicle
+    /// offset. This is the car-following structure of real traffic (and
+    /// of the paper's taxi traces): vehicles sharing a road move together,
+    /// which is exactly why similar-heading links live so long in
+    /// Table 5.1.
+    pub fn new(network: RoadNetwork, n_vehicles: usize, mut rng: RngStream) -> Self {
+        assert!(!network.is_empty(), "need at least one road");
+        let flow: Vec<f64> = (0..network.len())
+            .map(|_| SPEED_MIN + 1.0 + rng.uniform() * (SPEED_MAX - SPEED_MIN - 2.0))
+            .collect();
+        let vehicles = (0..n_vehicles)
+            .map(|_| {
+                let road = (rng.uniform() * network.len() as f64) as usize % network.len();
+                let offset = rng.uniform() * network.roads[road].length_m;
+                let base = (flow[road] + rng.normal() * 1.2).clamp(SPEED_MIN, SPEED_MAX);
+                Vehicle {
+                    road,
+                    offset_m: offset,
+                    dir: if rng.chance(0.5) { 1 } else { -1 },
+                    speed_mps: base,
+                    base_speed: base,
+                }
+            })
+            .collect();
+        Fleet {
+            network,
+            vehicles,
+            rng,
+        }
+    }
+
+    /// Number of vehicles.
+    pub fn len(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vehicles.is_empty()
+    }
+
+    /// Current state of every vehicle.
+    pub fn states(&self) -> Vec<VehicleState> {
+        self.vehicles
+            .iter()
+            .map(|v| {
+                let road = &self.network.roads[v.road];
+                VehicleState {
+                    position: road.position_at(v.offset_m),
+                    heading_deg: road.travel_heading(v.dir),
+                    speed_mps: v.speed_mps,
+                }
+            })
+            .collect()
+    }
+
+    /// Advance every vehicle by one second.
+    pub fn step(&mut self) {
+        for v in &mut self.vehicles {
+            let road = &self.network.roads[v.road];
+            // Speed wanders with mean reversion toward the base speed
+            // (traffic lights, queues), clamped to the urban band.
+            v.speed_mps += 0.1 * (v.base_speed - v.speed_mps) + self.rng.normal() * 0.5;
+            v.speed_mps = v.speed_mps.clamp(SPEED_MIN * 0.5, SPEED_MAX * 1.2);
+
+            v.offset_m += v.speed_mps * f64::from(v.dir);
+            // Reverse at road ends (a taxi turning around).
+            if v.offset_m <= 0.0 {
+                v.offset_m = -v.offset_m;
+                v.dir = 1;
+            } else if v.offset_m >= road.length_m {
+                v.offset_m = 2.0 * road.length_m - v.offset_m;
+                v.dir = -1;
+            }
+        }
+    }
+
+    /// Simulate `seconds` steps, returning the per-second state snapshots
+    /// (index 0 is the initial state).
+    pub fn simulate(mut self, seconds: usize) -> Vec<Vec<VehicleState>> {
+        let mut out = Vec::with_capacity(seconds + 1);
+        out.push(self.states());
+        for _ in 0..seconds {
+            self.step();
+            out.push(self.states());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize, seed: u64) -> Fleet {
+        let mut rng = RngStream::new(seed).derive("net");
+        let net = RoadNetwork::generate(20, 2000.0, &mut rng);
+        Fleet::new(net, n, RngStream::new(seed).derive("fleet"))
+    }
+
+    #[test]
+    fn vehicles_move_each_second() {
+        let mut f = fleet(10, 1);
+        let before = f.states();
+        f.step();
+        let after = f.states();
+        for (b, a) in before.iter().zip(&after) {
+            let d = b.position.distance(a.position);
+            assert!(d > 1.0, "vehicle moved only {d} m");
+            assert!(d < 20.0, "vehicle teleported {d} m");
+        }
+    }
+
+    #[test]
+    fn speeds_stay_in_band() {
+        let mut f = fleet(20, 2);
+        for _ in 0..500 {
+            f.step();
+        }
+        for s in f.states() {
+            assert!(s.speed_mps >= SPEED_MIN * 0.5 - 1e-9);
+            assert!(s.speed_mps <= SPEED_MAX * 1.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn headings_follow_roads_and_flip_on_reversal() {
+        let f = fleet(30, 3);
+        let snapshots = f.simulate(600);
+        // Every heading must be either a road heading or its reverse.
+        for snap in &snapshots {
+            for s in snap {
+                assert!((0.0..360.0).contains(&s.heading_deg));
+            }
+        }
+        // At least one vehicle reverses within 600 s on a ~2 km road.
+        let h0: Vec<f64> = snapshots[0].iter().map(|s| s.heading_deg).collect();
+        let flipped = snapshots.last().unwrap().iter().zip(&h0).any(|(s, &h)| {
+            let d = (s.heading_deg - h).rem_euclid(360.0);
+            (d - 180.0).abs() < 1.0
+        });
+        assert!(flipped, "no vehicle reversed in 600 s");
+    }
+
+    #[test]
+    fn simulate_returns_one_snapshot_per_second() {
+        let f = fleet(5, 4);
+        let snaps = f.simulate(100);
+        assert_eq!(snaps.len(), 101);
+        assert_eq!(snaps[0].len(), 5);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = fleet(10, 7).simulate(50);
+        let b = fleet(10, 7).simulate(50);
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in x.iter().zip(y) {
+                assert_eq!(u.position.x, v.position.x);
+                assert_eq!(u.heading_deg, v.heading_deg);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic road networks.
+//!
+//! Roads are straight chords with random orientations crossing a square
+//! urban region — an abstraction of the paper's map-matched road network
+//! that preserves the property CTE depends on: "an underlying mobility
+//! model that assumes movement is constrained onto a common set of
+//! one-dimensional segments" (Sec. 5.1.1), with a realistic diversity of
+//! segment orientations.
+
+use hint_sim::RngStream;
+
+/// A 2-D point in metres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Metres east.
+    pub x: f64,
+    /// Metres north.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// One straight road segment.
+#[derive(Clone, Debug)]
+pub struct Road {
+    /// One endpoint.
+    pub start: Point,
+    /// Heading from start to end, degrees clockwise from north.
+    pub heading_deg: f64,
+    /// Segment length, metres.
+    pub length_m: f64,
+}
+
+impl Road {
+    /// Position at `offset` metres from the start (clamped to the road).
+    pub fn position_at(&self, offset_m: f64) -> Point {
+        let o = offset_m.clamp(0.0, self.length_m);
+        let h = self.heading_deg.to_radians();
+        Point {
+            x: self.start.x + o * h.sin(),
+            y: self.start.y + o * h.cos(),
+        }
+    }
+
+    /// The other endpoint.
+    pub fn end(&self) -> Point {
+        self.position_at(self.length_m)
+    }
+
+    /// Travel heading for a vehicle moving toward the end (`dir = +1`) or
+    /// back toward the start (`dir = -1`).
+    pub fn travel_heading(&self, dir: i8) -> f64 {
+        if dir >= 0 {
+            self.heading_deg
+        } else {
+            (self.heading_deg + 180.0).rem_euclid(360.0)
+        }
+    }
+}
+
+/// A set of roads crossing a square region.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    /// The roads.
+    pub roads: Vec<Road>,
+    /// Side length of the square region, metres.
+    pub region_m: f64,
+}
+
+impl RoadNetwork {
+    /// Generate `n_roads` chords with uniformly random orientations whose
+    /// midpoints are uniform over the region. Road lengths span most of
+    /// the region so vehicles traverse shared space repeatedly.
+    pub fn generate(n_roads: usize, region_m: f64, rng: &mut RngStream) -> Self {
+        assert!(n_roads > 0 && region_m > 0.0);
+        let mut roads = Vec::with_capacity(n_roads);
+        for _ in 0..n_roads {
+            let heading = rng.uniform() * 360.0;
+            let mid = Point {
+                x: rng.uniform() * region_m,
+                y: rng.uniform() * region_m,
+            };
+            let length = region_m * (0.6 + 0.4 * rng.uniform());
+            let h = (heading as f64).to_radians();
+            let start = Point {
+                x: mid.x - length / 2.0 * h.sin(),
+                y: mid.y - length / 2.0 * h.cos(),
+            };
+            roads.push(Road {
+                start,
+                heading_deg: heading,
+                length_m: length,
+            });
+        }
+        RoadNetwork { roads, region_m }
+    }
+
+    /// Number of roads.
+    pub fn len(&self) -> usize {
+        self.roads.len()
+    }
+
+    /// True if the network has no roads.
+    pub fn is_empty(&self) -> bool {
+        self.roads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_math() {
+        let r = Road {
+            start: Point { x: 0.0, y: 0.0 },
+            heading_deg: 90.0, // due east
+            length_m: 100.0,
+        };
+        let p = r.position_at(50.0);
+        assert!((p.x - 50.0).abs() < 1e-9);
+        assert!(p.y.abs() < 1e-9);
+        // Clamped at the ends.
+        assert!((r.position_at(500.0).x - 100.0).abs() < 1e-9);
+        assert!((r.position_at(-10.0).x).abs() < 1e-9);
+        assert!((r.end().x - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn travel_heading_flips_for_reverse() {
+        let r = Road {
+            start: Point::default(),
+            heading_deg: 30.0,
+            length_m: 10.0,
+        };
+        assert_eq!(r.travel_heading(1), 30.0);
+        assert_eq!(r.travel_heading(-1), 210.0);
+    }
+
+    #[test]
+    fn generated_network_is_plausible() {
+        let mut rng = RngStream::new(5).derive("roads");
+        let net = RoadNetwork::generate(40, 2000.0, &mut rng);
+        assert_eq!(net.len(), 40);
+        // Orientations should be diverse: spread over at least 300°.
+        let mut hs: Vec<f64> = net.roads.iter().map(|r| r.heading_deg).collect();
+        hs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(hs.last().unwrap() - hs.first().unwrap() > 300.0);
+        // Roads span a good fraction of the region.
+        for r in &net.roads {
+            assert!(r.length_m >= 0.6 * 2000.0);
+        }
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point { x: 1.0, y: 2.0 };
+        let b = Point { x: 4.0, y: 6.0 };
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+}

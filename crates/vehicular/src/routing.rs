@@ -1,0 +1,371 @@
+//! CTE route selection and the route-stability experiment (Sec. 5.1).
+//!
+//! "We propose a metric called the connection time estimate (CTE), which
+//! is the inverse of the difference in heading between the two nodes
+//! sharing a link ... The CTE value for a multi-hop route may be estimated
+//! as the minimum CTE value over all hops."
+//!
+//! The experiment compares routes chosen by maximising the route CTE
+//! (max-min over hops, a widest-path computation) against a hint-free
+//! baseline (min-hop BFS, the standard mesh behaviour), measuring each
+//! route's lifetime: how long every hop stays within range after the route
+//! is built. The paper reports a 4–5× stability improvement.
+
+use crate::links::LINK_RANGE_M;
+use crate::mobility::{Fleet, VehicleState};
+use crate::roads::RoadNetwork;
+use hint_sim::{mean, median, RngStream};
+
+/// The CTE of a link with heading difference `diff_deg` (degrees).
+///
+/// The inverse diverges as the difference approaches zero, so it is
+/// floored at 1°: headings agreeing within a degree are equally excellent
+/// predictors (and compass noise makes finer distinctions meaningless).
+pub fn cte(diff_deg: f64) -> f64 {
+    1.0 / diff_deg.max(1.0)
+}
+
+/// Route selection strategies under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// Maximise the route CTE (max-min heading alignment) — hint-aware.
+    MaxMinCte,
+    /// Minimise hop count (BFS) — the hint-free baseline.
+    HintFree,
+}
+
+/// Adjacency of the proximity graph at one instant.
+fn adjacency(snapshot: &[VehicleState]) -> Vec<Vec<usize>> {
+    let n = snapshot.len();
+    let mut adj = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if snapshot[a].position.distance(snapshot[b].position) <= LINK_RANGE_M {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+    }
+    adj
+}
+
+/// Heading difference of a vehicle pair at one instant.
+fn pair_diff(snapshot: &[VehicleState], a: usize, b: usize) -> f64 {
+    let d = (snapshot[a].heading_deg - snapshot[b].heading_deg).rem_euclid(360.0);
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+/// Min-hop route via BFS; `None` if disconnected.
+fn bfs_route(adj: &[Vec<usize>], src: usize, dst: usize) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev = vec![usize::MAX; adj.len()];
+    let mut queue = std::collections::VecDeque::from([src]);
+    prev[src] = src;
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if prev[v] == usize::MAX {
+                prev[v] = u;
+                if v == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = prev[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Route maximising the route CTE: minimise the maximum per-hop heading
+/// difference (i.e. maximise the minimum CTE — the paper's route metric),
+/// breaking ties by the total heading difference so *every* hop is as
+/// aligned as possible, not just the bottleneck. `None` if disconnected.
+fn max_min_cte_route(
+    snapshot: &[VehicleState],
+    adj: &[Vec<usize>],
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    let n = adj.len();
+    if src == dst {
+        return Some(vec![src]);
+    }
+    // Lexicographic cost: (max hop diff, sum of hop diffs).
+    let mut best: Vec<(f64, f64)> = vec![(f64::INFINITY, f64::INFINITY); n];
+    let mut prev = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    best[src] = (0.0, 0.0);
+    loop {
+        // Extract the unfinished node with the lexicographically least cost.
+        let mut u = usize::MAX;
+        let mut u_cost = (f64::INFINITY, f64::INFINITY);
+        for i in 0..n {
+            if !done[i] && best[i] < u_cost {
+                u = i;
+                u_cost = best[i];
+            }
+        }
+        if u == usize::MAX || u_cost.0 == f64::INFINITY {
+            return None;
+        }
+        if u == dst {
+            let mut path = vec![dst];
+            let mut cur = dst;
+            while cur != src {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        done[u] = true;
+        for &v in &adj[u] {
+            if done[v] {
+                continue;
+            }
+            let diff = pair_diff(snapshot, u, v);
+            let cand = (best[u].0.max(diff), best[u].1 + diff);
+            if cand < best[v] {
+                best[v] = cand;
+                prev[v] = u;
+            }
+        }
+    }
+}
+
+/// Pick a route between `src` and `dst` at one instant under `strategy`.
+pub fn pick_route(
+    snapshot: &[VehicleState],
+    strategy: RouteStrategy,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    let adj = adjacency(snapshot);
+    match strategy {
+        RouteStrategy::HintFree => bfs_route(&adj, src, dst),
+        RouteStrategy::MaxMinCte => max_min_cte_route(snapshot, &adj, src, dst),
+    }
+}
+
+/// How many whole seconds (starting at `t0`) every hop of `route` stays
+/// within range.
+pub fn route_lifetime(snapshots: &[Vec<VehicleState>], t0: usize, route: &[usize]) -> usize {
+    let mut life = 0;
+    'outer: for t in (t0 + 1)..snapshots.len() {
+        let snap = &snapshots[t];
+        for hop in route.windows(2) {
+            if snap[hop[0]].position.distance(snap[hop[1]].position) > LINK_RANGE_M {
+                break 'outer;
+            }
+        }
+        life += 1;
+    }
+    life
+}
+
+/// Result of the route-stability experiment.
+#[derive(Clone, Debug)]
+pub struct StabilityResult {
+    /// Per-route lifetimes under the CTE strategy, seconds.
+    pub cte_lifetimes: Vec<f64>,
+    /// Per-route lifetimes under the hint-free strategy, seconds.
+    pub hint_free_lifetimes: Vec<f64>,
+}
+
+impl StabilityResult {
+    /// Median lifetimes `(cte, hint_free)`.
+    pub fn medians(&self) -> (f64, f64) {
+        (median(&self.cte_lifetimes), median(&self.hint_free_lifetimes))
+    }
+
+    /// Mean lifetimes `(cte, hint_free)`.
+    pub fn means(&self) -> (f64, f64) {
+        (mean(&self.cte_lifetimes), mean(&self.hint_free_lifetimes))
+    }
+
+    /// Stability factor: median CTE lifetime over median hint-free
+    /// lifetime (the paper's 4–5×).
+    pub fn stability_factor(&self) -> f64 {
+        let (c, h) = self.medians();
+        if h == 0.0 {
+            // Fall back to means when the baseline median collapses to 0.
+            let (cm, hm) = self.means();
+            if hm == 0.0 {
+                return 0.0;
+            }
+            return cm / hm;
+        }
+        c / h
+    }
+}
+
+/// Run the full experiment: simulate `n_vehicles` for `seconds`, and at
+/// regular epochs pick random connected multi-hop source/destination pairs,
+/// building one route per strategy and measuring both lifetimes on the
+/// same pair.
+pub fn route_stability_experiment(
+    n_roads: usize,
+    n_vehicles: usize,
+    region_m: f64,
+    seconds: usize,
+    routes_per_epoch: usize,
+    seed: u64,
+) -> StabilityResult {
+    let root = RngStream::new(seed);
+    let mut net_rng = root.derive("net");
+    let network = RoadNetwork::generate(n_roads, region_m, &mut net_rng);
+    let fleet = Fleet::new(network, n_vehicles, root.derive("fleet"));
+    let snapshots = fleet.simulate(seconds);
+    let mut pick_rng = root.derive("pairs");
+
+    let mut result = StabilityResult {
+        cte_lifetimes: Vec::new(),
+        hint_free_lifetimes: Vec::new(),
+    };
+
+    // Sample epochs through the first half so routes have room to live.
+    let n_epochs = 10;
+    for e in 0..n_epochs {
+        let t0 = e * (seconds / 2) / n_epochs;
+        let snap = &snapshots[t0];
+        let adj = adjacency(snap);
+        let mut found = 0;
+        let mut attempts = 0;
+        while found < routes_per_epoch && attempts < routes_per_epoch * 50 {
+            attempts += 1;
+            let src = (pick_rng.uniform() * n_vehicles as f64) as usize % n_vehicles;
+            let dst = (pick_rng.uniform() * n_vehicles as f64) as usize % n_vehicles;
+            if src == dst {
+                continue;
+            }
+            // Require a genuine multi-hop pair (direct neighbours make the
+            // two strategies identical).
+            let Some(hint_free) = bfs_route(&adj, src, dst) else {
+                continue;
+            };
+            if hint_free.len() < 3 {
+                continue;
+            }
+            let Some(cte_route) = max_min_cte_route(snap, &adj, src, dst) else {
+                continue;
+            };
+            found += 1;
+            result
+                .cte_lifetimes
+                .push(route_lifetime(&snapshots, t0, &cte_route) as f64);
+            result
+                .hint_free_lifetimes
+                .push(route_lifetime(&snapshots, t0, &hint_free) as f64);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roads::Point;
+
+    fn state(x: f64, y: f64, h: f64) -> VehicleState {
+        VehicleState {
+            position: Point { x, y },
+            heading_deg: h,
+            speed_mps: 10.0,
+        }
+    }
+
+    #[test]
+    fn cte_basics() {
+        assert_eq!(cte(0.0), 1.0);
+        assert_eq!(cte(0.5), 1.0);
+        assert_eq!(cte(10.0), 0.1);
+        assert_eq!(cte(180.0), 1.0 / 180.0);
+        assert!(cte(5.0) > cte(20.0));
+    }
+
+    #[test]
+    fn bfs_finds_min_hop_route() {
+        // Chain 0—1—2—3 plus shortcut 0—4—3.
+        let snap = vec![
+            state(0.0, 0.0, 0.0),
+            state(90.0, 0.0, 0.0),
+            state(180.0, 0.0, 0.0),
+            state(270.0, 0.0, 0.0),
+            state(135.0, 80.0, 90.0),
+        ];
+        // 0—4? distance = sqrt(135²+80²) ≈ 157 > 100: no shortcut. Route
+        // is the chain.
+        let r = pick_route(&snap, RouteStrategy::HintFree, 0, 3).unwrap();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_pairs_yield_none() {
+        let snap = vec![state(0.0, 0.0, 0.0), state(5000.0, 0.0, 0.0)];
+        assert_eq!(pick_route(&snap, RouteStrategy::HintFree, 0, 1), None);
+        assert_eq!(pick_route(&snap, RouteStrategy::MaxMinCte, 0, 1), None);
+    }
+
+    #[test]
+    fn cte_prefers_aligned_detour() {
+        // Two two-hop routes 0→3: via 1 (heading 90°, aligned with both
+        // endpoints) or via 2 (heading 0°, perpendicular). Max-min CTE
+        // must route through 1; BFS may pick either (both 2 hops).
+        let snap = vec![
+            state(0.0, 0.0, 90.0),
+            state(80.0, 30.0, 90.0),
+            state(80.0, -30.0, 0.0),
+            state(160.0, 0.0, 90.0),
+        ];
+        let r = pick_route(&snap, RouteStrategy::MaxMinCte, 0, 3).unwrap();
+        assert_eq!(r, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn route_lifetime_counts_until_first_hop_break() {
+        // Two nodes drift apart after 2 steps.
+        let snaps = vec![
+            vec![state(0.0, 0.0, 0.0), state(50.0, 0.0, 0.0)],
+            vec![state(0.0, 0.0, 0.0), state(70.0, 0.0, 0.0)],
+            vec![state(0.0, 0.0, 0.0), state(90.0, 0.0, 0.0)],
+            vec![state(0.0, 0.0, 0.0), state(150.0, 0.0, 0.0)],
+            vec![state(0.0, 0.0, 0.0), state(90.0, 0.0, 0.0)],
+        ];
+        assert_eq!(route_lifetime(&snaps, 0, &[0, 1]), 2);
+        // A single-node "route" never breaks.
+        assert_eq!(route_lifetime(&snaps, 0, &[0]), 4);
+    }
+
+    #[test]
+    fn experiment_shows_cte_multiplier() {
+        // Scaled-down version of the Sec. 5.1.2 experiment: CTE routes
+        // should live substantially longer than hint-free routes.
+        // Dense urban fleet: route choice only exists when the proximity
+        // graph has path diversity.
+        let res = route_stability_experiment(8, 300, 900.0, 400, 8, 77);
+        assert!(
+            res.cte_lifetimes.len() >= 20,
+            "too few routes: {}",
+            res.cte_lifetimes.len()
+        );
+        let factor = res.stability_factor();
+        assert!(
+            factor > 1.5,
+            "CTE stability factor {factor:.2} (cte median {:?}, hint-free {:?})",
+            res.medians().0,
+            res.medians().1
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the vehicular substrate.
+
+use hint_sim::RngStream;
+use hint_vehicular::links::{collect_links, LinkTracker, LINK_RANGE_M};
+use hint_vehicular::mobility::{Fleet, VehicleState, SPEED_MAX, SPEED_MIN};
+use hint_vehicular::roads::{Point, Road, RoadNetwork};
+use hint_vehicular::routing::{cte, pick_route, route_lifetime, RouteStrategy};
+use proptest::prelude::*;
+
+proptest! {
+    /// Road positions stay on the segment and travel headings are
+    /// antipodal for opposite directions.
+    #[test]
+    fn road_geometry(heading in 0.0f64..360.0, len in 10.0f64..5000.0, off in -100.0f64..6000.0) {
+        let r = Road {
+            start: Point { x: 0.0, y: 0.0 },
+            heading_deg: heading,
+            length_m: len,
+        };
+        let p = r.position_at(off);
+        let d = p.distance(Point { x: 0.0, y: 0.0 });
+        prop_assert!(d <= len + 1e-6, "point left the road: {d} > {len}");
+        let fwd = r.travel_heading(1);
+        let back = r.travel_heading(-1);
+        let diff = (fwd - back).rem_euclid(360.0);
+        prop_assert!((diff - 180.0).abs() < 1e-9);
+    }
+
+    /// Fleets never teleport: per-second displacement is bounded by the
+    /// maximum speed.
+    #[test]
+    fn no_teleporting(seed in any::<u64>(), n in 2usize..30) {
+        let mut rng = RngStream::new(seed).derive("net");
+        let net = RoadNetwork::generate(8, 1500.0, &mut rng);
+        let fleet = Fleet::new(net, n, RngStream::new(seed).derive("fleet"));
+        let snaps = fleet.simulate(30);
+        for w in snaps.windows(2) {
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                let d = a.position.distance(b.position);
+                prop_assert!(d <= SPEED_MAX * 1.2 + 1e-6, "moved {d} m in 1 s");
+                prop_assert!(b.speed_mps >= SPEED_MIN * 0.5 - 1e-9);
+            }
+        }
+    }
+
+    /// Link records never overlap for the same pair and durations are
+    /// consistent with observation times.
+    #[test]
+    fn link_records_consistent(seed in any::<u64>()) {
+        let mut rng = RngStream::new(seed).derive("net");
+        let net = RoadNetwork::generate(10, 1200.0, &mut rng);
+        let fleet = Fleet::new(net, 40, RngStream::new(seed).derive("fleet"));
+        let snaps = fleet.simulate(120);
+        let records = collect_links(&snaps);
+        for r in &records {
+            prop_assert!(r.a < r.b);
+            prop_assert!(r.start_s + r.duration_s <= 120);
+            prop_assert!((0.0..=180.0).contains(&r.initial_heading_diff));
+        }
+        // Per-pair, sorted records must not overlap in time.
+        let mut by_pair: std::collections::HashMap<(usize, usize), Vec<_>> = Default::default();
+        for r in &records {
+            by_pair.entry((r.a, r.b)).or_default().push((r.start_s, r.duration_s));
+        }
+        for recs in by_pair.values_mut() {
+            recs.sort();
+            for w in recs.windows(2) {
+                prop_assert!(w[0].0 + w[0].1 <= w[1].0, "overlapping link records");
+            }
+        }
+    }
+
+    /// CTE is anti-monotone in heading difference and bounded.
+    #[test]
+    fn cte_properties(d1 in 0.0f64..180.0, d2 in 0.0f64..180.0) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(cte(lo) >= cte(hi));
+        prop_assert!(cte(d1) <= 1.0 + 1e-12);
+        prop_assert!(cte(d1) >= 1.0 / 180.0 - 1e-12);
+    }
+
+    /// Routes returned by either strategy are valid paths: consecutive
+    /// hops within range, endpoints correct, no repeated vertex.
+    #[test]
+    fn routes_are_valid_paths(seed in any::<u64>()) {
+        let mut rng = RngStream::new(seed).derive("net");
+        let net = RoadNetwork::generate(8, 800.0, &mut rng);
+        let fleet = Fleet::new(net, 60, RngStream::new(seed).derive("fleet"));
+        let snaps = fleet.simulate(5);
+        let snap: &Vec<VehicleState> = &snaps[0];
+        let mut pick = RngStream::new(seed).derive("pairs");
+        for _ in 0..10 {
+            let s = (pick.uniform() * 60.0) as usize % 60;
+            let d = (pick.uniform() * 60.0) as usize % 60;
+            for strat in [RouteStrategy::HintFree, RouteStrategy::MaxMinCte] {
+                if let Some(route) = pick_route(snap, strat, s, d) {
+                    prop_assert_eq!(*route.first().unwrap(), s);
+                    prop_assert_eq!(*route.last().unwrap(), d);
+                    for hop in route.windows(2) {
+                        let dist = snap[hop[0]].position.distance(snap[hop[1]].position);
+                        prop_assert!(dist <= LINK_RANGE_M + 1e-9, "hop {dist} m");
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for &v in &route {
+                        prop_assert!(seen.insert(v), "repeated vertex {v}");
+                    }
+                    // Lifetime is well-defined and bounded by the horizon.
+                    let life = route_lifetime(&snaps, 0, &route);
+                    prop_assert!(life <= snaps.len() - 1);
+                }
+            }
+        }
+    }
+
+    /// The link tracker is incremental: observing snapshots one at a time
+    /// equals batch collection.
+    #[test]
+    fn tracker_incremental_equals_batch(seed in any::<u64>()) {
+        let mut rng = RngStream::new(seed).derive("net");
+        let net = RoadNetwork::generate(6, 1000.0, &mut rng);
+        let fleet = Fleet::new(net, 25, RngStream::new(seed).derive("fleet"));
+        let snaps = fleet.simulate(40);
+        let batch = collect_links(&snaps);
+        let mut tracker = LinkTracker::new();
+        for (t, s) in snaps.iter().enumerate() {
+            tracker.observe(t, s);
+        }
+        let mut inc = tracker.finish(snaps.len() - 1);
+        let mut batch_sorted = batch;
+        let key = |r: &hint_vehicular::links::LinkRecord| (r.a, r.b, r.start_s, r.duration_s);
+        inc.sort_by_key(key);
+        batch_sorted.sort_by_key(key);
+        prop_assert_eq!(inc, batch_sorted);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: the sensor-hints pipeline in one minute.
+//!
+//! A phone alternates between standing still and walking. Its synthetic
+//! accelerometer feeds the paper's jerk detector; the hint service tracks
+//! the movement hint; the hint field it would stuff into outgoing frames
+//! mirrors it. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sensor_hints::device::HintedDevice;
+use sensor_hints::sensors::MotionProfile;
+use sensor_hints::sim::{SimDuration, SimTime};
+
+fn main() {
+    // Ground truth: still 5 s, walk 5 s, still 5 s.
+    let profile = MotionProfile::static_move_static(
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(5),
+    );
+    let mut phone = HintedDevice::new(profile.clone(), 2026);
+
+    println!("time   truth    movement-hint  heading-hint   frame-hint-bytes");
+    for half_secs in 0..30u64 {
+        let t = SimTime::from_micros(half_secs * 500_000);
+        phone.advance_to(t);
+        let hints = phone.hints();
+        let field = phone.outgoing_hint_field();
+        println!(
+            "{:>5}  {:>7}  {:>13}  {:>12}  {:>16}",
+            format!("{t}"),
+            if profile.is_moving_at(t) { "moving" } else { "static" },
+            match hints.movement {
+                Some(m) if m.is_moving() => "moving",
+                Some(_) => "static",
+                None => "-",
+            },
+            hints
+                .heading
+                .map(|h| format!("{:.0}°", h.degrees()))
+                .unwrap_or_else(|| "-".into()),
+            field.wire_overhead_bytes(),
+        );
+    }
+
+    println!();
+    println!(
+        "The detector answers within ~100-300 ms of each transition, from raw \
+         2 ms accelerometer reports, with no per-device calibration — the \
+         architecture of Ch. 2 of the paper."
+    );
+}

@@ -1,0 +1,245 @@
+//! `hints-trace` — generate, inspect and replay channel traces.
+//!
+//! The paper's methodology revolves around trace artifacts; this tool
+//! makes them first-class on the command line:
+//!
+//! ```text
+//! hints-trace gen --env office --motion mixed --secs 20 --seed 7 --out t.json
+//! hints-trace info t.json
+//! hints-trace replay t.json --protocol hintaware --workload tcp
+//! hints-trace compare t.json                     # all six protocols
+//! ```
+//!
+//! Run via `cargo run --release --bin hints-trace -- <args>`.
+
+use sensor_hints::channel::{Environment, Trace};
+use sensor_hints::mac::BitRate;
+use sensor_hints::rateadapt::evaluate::ProtocolKind;
+use sensor_hints::rateadapt::{HintStream, LinkSimulator, Workload};
+use sensor_hints::sensors::MotionProfile;
+use sensor_hints::sim::SimDuration;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hints-trace gen --env <office|hallway|outdoor|vehicular|mesh-edge> \\\n            --motion <static|mobile|mixed|vehicle> --secs <n> --seed <n> --out <file>\n  hints-trace info <file>\n  hints-trace replay <file> --protocol <name> [--workload udp|tcp]\n  hints-trace compare <file> [--workload udp|tcp]"
+    );
+    ExitCode::from(2)
+}
+
+/// Pull `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn env_by_name(name: &str) -> Option<Environment> {
+    match name {
+        "office" => Some(Environment::office()),
+        "hallway" => Some(Environment::hallway()),
+        "outdoor" => Some(Environment::outdoor()),
+        "vehicular" => Some(Environment::vehicular()),
+        "mesh-edge" => Some(Environment::mesh_edge()),
+        _ => None,
+    }
+}
+
+fn motion_by_name(name: &str, secs: u64) -> Option<MotionProfile> {
+    let dur = SimDuration::from_secs(secs);
+    match name {
+        "static" => Some(MotionProfile::stationary(dur)),
+        "mobile" => Some(MotionProfile::walking(dur, 1.4, 90.0)),
+        "mixed" => Some(MotionProfile::half_and_half(
+            SimDuration::from_secs(secs / 2),
+            true,
+        )),
+        "vehicle" => Some(MotionProfile::vehicle(dur, 15.0, 0.0)),
+        _ => None,
+    }
+}
+
+fn protocol_by_name(name: &str) -> Option<ProtocolKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "rapidsample" => Some(ProtocolKind::RapidSample),
+        "samplerate" => Some(ProtocolKind::SampleRate),
+        "rraa" => Some(ProtocolKind::Rraa),
+        "rbar" => Some(ProtocolKind::Rbar),
+        "charm" => Some(ProtocolKind::Charm),
+        "hintaware" => Some(ProtocolKind::HintAware),
+        _ => None,
+    }
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let (Some(env_s), Some(motion_s), Some(secs_s), Some(out)) = (
+        flag(args, "--env"),
+        flag(args, "--motion"),
+        flag(args, "--secs"),
+        flag(args, "--out"),
+    ) else {
+        return usage();
+    };
+    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let Ok(secs) = secs_s.parse::<u64>() else {
+        eprintln!("bad --secs {secs_s}");
+        return ExitCode::from(2);
+    };
+    let Some(env) = env_by_name(&env_s) else {
+        eprintln!("unknown environment {env_s}");
+        return ExitCode::from(2);
+    };
+    let Some(profile) = motion_by_name(&motion_s, secs) else {
+        eprintln!("unknown motion {motion_s}");
+        return ExitCode::from(2);
+    };
+    let trace = Trace::generate(&env, &profile, SimDuration::from_secs(secs), seed);
+    if let Err(e) = trace.save(Path::new(&out)) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out}: {} slots, env {}, seed {seed}",
+        trace.len(),
+        trace.environment
+    );
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Trace, ExitCode> {
+    Trace::load(Path::new(path)).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_info(path: &str) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    println!("environment : {}", trace.environment);
+    println!("seed        : {}", trace.seed);
+    println!("duration    : {}", trace.duration());
+    println!("slots       : {}", trace.len());
+    println!("noise loss  : {:.3}", trace.noise_loss);
+    let moving = trace.slots.iter().filter(|s| s.moving).count();
+    println!(
+        "moving      : {:.0}% of slots",
+        100.0 * moving as f64 / trace.len().max(1) as f64
+    );
+    println!("delivery ratio by rate (all / static slots / moving slots):");
+    for &r in &BitRate::ALL {
+        println!(
+            "  {:>7}: {:.3} / {:.3} / {:.3}",
+            r.to_string(),
+            trace.delivery_ratio(r),
+            trace.delivery_ratio_when(r, false),
+            trace.delivery_ratio_when(r, true),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn workload_of(args: &[String]) -> Workload {
+    match flag(args, "--workload").as_deref() {
+        Some("tcp") => Workload::tcp(),
+        _ => Workload::Udp,
+    }
+}
+
+/// Replay one protocol over a loaded trace, using ground-truth-with-
+/// detector-latency hints derived from the trace's own movement flags.
+fn replay(trace: &Trace, kind: ProtocolKind, workload: Workload) -> f64 {
+    // Rebuild a hint stream from the trace's stored ground truth with a
+    // 100 ms oracle latency (the detector's measured class).
+    let profile = profile_from_trace(trace);
+    let hints = HintStream::oracle(&profile, trace.duration(), SimDuration::from_millis(100));
+    let mut adapter = kind.build(SimDuration::from_secs(10));
+    LinkSimulator::new(trace)
+        .with_hints(&hints)
+        .run(adapter.as_mut(), workload)
+        .goodput_bps
+}
+
+/// Reconstruct a piecewise motion profile from the trace's moving flags
+/// (speed is not needed by the movement hint).
+fn profile_from_trace(trace: &Trace) -> MotionProfile {
+    use sensor_hints::sensors::motion::{MotionSegment, MotionState};
+    let slot = sensor_hints::channel::SLOT_DURATION;
+    let mut segs: Vec<MotionSegment> = Vec::new();
+    for s in &trace.slots {
+        let state = if s.moving {
+            MotionState::Walking {
+                speed_mps: s.speed_mps.max(0.1),
+            }
+        } else {
+            MotionState::Static
+        };
+        match segs.last_mut() {
+            Some(last) if last.state.is_moving() == s.moving => last.duration += slot,
+            _ => segs.push(MotionSegment {
+                state,
+                duration: slot,
+                heading_deg: 0.0,
+            }),
+        }
+    }
+    if segs.is_empty() {
+        segs.push(MotionSegment {
+            state: MotionState::Static,
+            duration: slot,
+            heading_deg: 0.0,
+        });
+    }
+    MotionProfile::new(segs)
+}
+
+fn cmd_replay(path: &str, args: &[String]) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let Some(kind) = flag(args, "--protocol").and_then(|p| protocol_by_name(&p)) else {
+        eprintln!("--protocol required (rapidsample|samplerate|rraa|rbar|charm|hintaware)");
+        return ExitCode::from(2);
+    };
+    let goodput = replay(&trace, kind, workload_of(args));
+    println!("{}: {:.2} Mbit/s", kind.name(), goodput / 1e6);
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(path: &str, args: &[String]) -> ExitCode {
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    let workload = workload_of(args);
+    println!("{:<12} {:>12}", "protocol", "Mbit/s");
+    for kind in ProtocolKind::ALL {
+        let goodput = replay(&trace, kind, workload);
+        println!("{:<12} {:>12.2}", kind.name(), goodput / 1e6);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => match args.get(1) {
+            Some(p) => cmd_info(p),
+            None => usage(),
+        },
+        Some("replay") => match args.get(1) {
+            Some(p) => cmd_replay(p.clone().as_str(), &args[2..]),
+            None => usage(),
+        },
+        Some("compare") => match args.get(1) {
+            Some(p) => cmd_compare(p.clone().as_str(), &args[2..]),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,3 @@
+//! Root package hosting workspace-level integration tests and examples.
+//! The library surface lives in the `sensor-hints` crate (`crates/core`).
+pub use sensor_hints as hints;

@@ -1,0 +1,83 @@
+//! Integration across subsystems: probing with sensor hints, vehicular
+//! hints over the wire format, and the AP consuming device hints.
+
+use sensor_hints::channel::{Environment, Trace};
+use sensor_hints::mac::hint_proto::HintWire;
+use sensor_hints::mac::BitRate;
+use sensor_hints::rateadapt::HintStream;
+use sensor_hints::sensors::MotionProfile;
+use sensor_hints::sim::{OnlineStats, SimDuration};
+use sensor_hints::topology::adaptive::{fixed_rate_run, AdaptiveProber};
+use sensor_hints::topology::delivery::{actual_series, held_tracking_error};
+use sensor_hints::topology::ProbeStream;
+
+#[test]
+fn sensor_hinted_probing_beats_fixed_slow_probing() {
+    // The Ch. 4 protocol with hints from the *real* detector pipeline
+    // (not ground truth): accuracy must still beat the 1 probe/s baseline
+    // while sending far fewer probes than always-fast.
+    let env = Environment::mesh_edge();
+    let step = SimDuration::from_millis(100);
+    let mut adaptive = OnlineStats::new();
+    let mut fixed = OnlineStats::new();
+    let mut probes_sent = 0u64;
+    let mut fast_equiv = 0u64;
+    for seed in 0..5u64 {
+        let profile = MotionProfile::half_and_half(SimDuration::from_secs(30), seed % 2 == 0);
+        let dur = SimDuration::from_secs(60);
+        let trace = Trace::generate(&env, &profile, dur, 8800 + seed);
+        let stream = ProbeStream::from_trace(&trace, BitRate::R6, seed);
+        let hints = HintStream::from_sensors(&profile, dur, 8900 + seed);
+        let actual = actual_series(&stream);
+        let run = AdaptiveProber::new().run(&stream, |t| hints.query(t));
+        adaptive.merge(&held_tracking_error(&run.estimates, &actual, step));
+        fixed.merge(&held_tracking_error(&fixed_rate_run(&stream, 1.0), &actual, step));
+        probes_sent += run.probes_sent;
+        fast_equiv += run.fast_equivalent;
+    }
+    assert!(
+        adaptive.mean() < fixed.mean(),
+        "adaptive {:.3} vs fixed-1/s {:.3}",
+        adaptive.mean(),
+        fixed.mean()
+    );
+    assert!(
+        probes_sent * 3 < fast_equiv * 2,
+        "adaptive sent {probes_sent} vs always-fast {fast_equiv}"
+    );
+}
+
+#[test]
+fn heading_hints_survive_the_wire_within_cte_tolerance() {
+    // Vehicular CTE consumes heading hints quantised to 2° on the wire
+    // (Sec. 2.3). Quantisation must never change a Table 5.1 bucket by
+    // more than one notch: check the wire error bound over the circle.
+    for tenth in 0..3600u32 {
+        let h = f64::from(tenth) / 10.0;
+        let bytes = HintWire::Heading(h).encode();
+        let HintWire::Heading(back) = HintWire::decode(bytes).expect("valid") else {
+            panic!("wrong variant");
+        };
+        let err = (back - h).abs().min(360.0 - (back - h).abs());
+        assert!(err <= 1.0 + 1e-9, "heading {h} err {err}");
+    }
+}
+
+#[test]
+fn movement_hint_changes_probing_bandwidth_not_accuracy_class() {
+    // With a receiver that never moves, the adaptive prober must send
+    // (almost) exactly the slow rate's probe count — hints should cost
+    // nothing when nothing happens.
+    let env = Environment::mesh_edge();
+    let profile = MotionProfile::stationary(SimDuration::from_secs(60));
+    let trace = Trace::generate(&env, &profile, SimDuration::from_secs(60), 8801);
+    let stream = ProbeStream::from_trace(&trace, BitRate::R6, 1);
+    let hints = HintStream::from_sensors(&profile, SimDuration::from_secs(60), 2);
+    let run = AdaptiveProber::new().run(&stream, |t| hints.query(t));
+    // 60 s at 1 probe/s ⇒ ~60 probes (allow detector blips).
+    assert!(
+        (55..=80).contains(&run.probes_sent),
+        "static probing sent {}",
+        run.probes_sent
+    );
+}
