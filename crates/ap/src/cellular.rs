@@ -79,10 +79,7 @@ pub enum HandoffPolicy {
 
 /// Pick a cell index for a client at `x` moving at `v` under `policy`.
 pub fn pick_cell(cells: &[Cell], x: f64, v: f64, policy: HandoffPolicy) -> Option<usize> {
-    let covering = cells
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.covers(x));
+    let covering = cells.iter().enumerate().filter(|(_, c)| c.covers(x));
     match policy {
         HandoffPolicy::BestSignal => covering
             .max_by(|a, b| a.1.quality.partial_cmp(&b.1.quality).expect("finite"))
@@ -178,7 +175,10 @@ mod tests {
         assert_eq!(scan_interval_for(&still, base), SimDuration::from_secs(50));
         let mut walking = MobilityHints::movement_only(true);
         walking.speed = Some(SpeedHint::new(1.4));
-        assert_eq!(scan_interval_for(&walking, base), SimDuration::from_secs(10));
+        assert_eq!(
+            scan_interval_for(&walking, base),
+            SimDuration::from_secs(10)
+        );
         let mut driving = MobilityHints::movement_only(true);
         driving.speed = Some(SpeedHint::new(20.0));
         assert_eq!(scan_interval_for(&driving, base), base);
@@ -206,7 +206,9 @@ mod tests {
             20.0,
             5000.0,
             500.0,
-            HandoffPolicy::SpeedAware { min_residence_s: 30 },
+            HandoffPolicy::SpeedAware {
+                min_residence_s: 30,
+            },
         );
         let naive = handoff_simulation(20.0, 5000.0, 500.0, HandoffPolicy::BestSignal);
         assert!(
@@ -225,11 +227,17 @@ mod tests {
             1.4,
             2000.0,
             500.0,
-            HandoffPolicy::SpeedAware { min_residence_s: 30 },
+            HandoffPolicy::SpeedAware {
+                min_residence_s: 30,
+            },
         );
         let naive = handoff_simulation(1.4, 2000.0, 500.0, HandoffPolicy::BestSignal);
         assert_eq!(walk.handoffs, naive.handoffs);
-        assert!(walk.micro_fraction > 0.3, "micro share {}", walk.micro_fraction);
+        assert!(
+            walk.micro_fraction > 0.3,
+            "micro share {}",
+            walk.micro_fraction
+        );
     }
 
     #[test]
@@ -240,9 +248,14 @@ mod tests {
             radius_m: 60.0,
             quality: 1.0,
         }];
-        let pick = pick_cell(&cells, 50.0, 1000.0, HandoffPolicy::SpeedAware {
-            min_residence_s: 60,
-        });
+        let pick = pick_cell(
+            &cells,
+            50.0,
+            1000.0,
+            HandoffPolicy::SpeedAware {
+                min_residence_s: 60,
+            },
+        );
         assert_eq!(pick, Some(0));
     }
 }

@@ -234,8 +234,7 @@ impl ApSimulator {
                     if c.quarantined && now >= c.next_probe {
                         // One gentle probe; returns the client to service
                         // if it answers and reports static again.
-                        let ok = c.cfg.in_range(now)
-                            && self.rng.chance(self.in_range_delivery);
+                        let ok = c.cfg.in_range(now) && self.rng.chance(self.in_range_delivery);
                         if ok && !c.cfg.moving(now) {
                             c.quarantined = false;
                         }
@@ -352,7 +351,10 @@ mod tests {
         // Before departure both clients roughly share the bandwidth.
         let before0 = r.mean_goodput_mbps(0, 5, 30);
         let before1 = r.mean_goodput_mbps(1, 5, 30);
-        assert!((before0 - before1).abs() / before0 < 0.2, "{before0} vs {before1}");
+        assert!(
+            (before0 - before1).abs() / before0 < 0.2,
+            "{before0} vs {before1}"
+        );
         // During the pathology window the static client collapses.
         let during = r.mean_goodput_mbps(0, 36, 44);
         assert!(

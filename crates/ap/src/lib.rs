@@ -28,4 +28,4 @@ pub mod scheduler;
 
 pub use association::{choose_ap, ApCandidate, AssociationPolicy, ClientMotion};
 pub use disassociation::{ApSimulator, ClientConfig, DisassociationPolicy, FairnessModel};
-pub use scheduler::{simulate_two_client_schedule, SchedulePolicy, ScheduleOutcome};
+pub use scheduler::{simulate_two_client_schedule, ScheduleOutcome, SchedulePolicy};

@@ -135,13 +135,8 @@ mod tests {
     fn favoring_mobile_increases_aggregate() {
         // 10 s mobile window in a 60 s run; the static batch fits easily
         // either way.
-        let equal = simulate_two_client_schedule(
-            SchedulePolicy::EqualShare,
-            RATE,
-            20_000,
-            10.0,
-            60.0,
-        );
+        let equal =
+            simulate_two_client_schedule(SchedulePolicy::EqualShare, RATE, 20_000, 10.0, 60.0);
         let favored = simulate_two_client_schedule(
             SchedulePolicy::FavorMobile { mobile_share: 0.9 },
             RATE,
@@ -164,13 +159,8 @@ mod tests {
 
     #[test]
     fn static_latency_increases_but_throughput_does_not_suffer() {
-        let equal = simulate_two_client_schedule(
-            SchedulePolicy::EqualShare,
-            RATE,
-            20_000,
-            10.0,
-            60.0,
-        );
+        let equal =
+            simulate_two_client_schedule(SchedulePolicy::EqualShare, RATE, 20_000, 10.0, 60.0);
         let favored = simulate_two_client_schedule(
             SchedulePolicy::FavorMobile { mobile_share: 0.9 },
             RATE,
@@ -220,16 +210,9 @@ mod tests {
     #[test]
     fn after_batch_completes_mobile_gets_all_frames() {
         // Tiny batch: once done, the mobile window should be fully used.
-        let out = simulate_two_client_schedule(
-            SchedulePolicy::EqualShare,
-            RATE,
-            10,
-            10.0,
-            20.0,
-        );
+        let out = simulate_two_client_schedule(SchedulePolicy::EqualShare, RATE, 10, 10.0, 20.0);
         let timing = MacTiming::ieee80211a();
-        let frames_in_window =
-            (10.0 / timing.dcf_exchange_time(RATE, 1000).as_secs_f64()) as u64;
+        let frames_in_window = (10.0 / timing.dcf_exchange_time(RATE, 1000).as_secs_f64()) as u64;
         assert!(
             out.mobile_delivered > frames_in_window * 9 / 10,
             "mobile got {} of ~{frames_in_window}",

@@ -48,9 +48,11 @@ fn bench_sensors(c: &mut Criterion) {
     });
 }
 
+type AdapterFactory = Box<dyn Fn() -> Box<dyn RateAdapter>>;
+
 fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocols/pick+report");
-    let adapters: Vec<(&str, Box<dyn Fn() -> Box<dyn RateAdapter>>)> = vec![
+    let adapters: Vec<(&str, AdapterFactory)> = vec![
         ("RapidSample", Box::new(|| Box::new(RapidSample::new()))),
         ("SampleRate", Box::new(|| Box::new(SampleRate::new()))),
         ("RRAA", Box::new(|| Box::new(Rraa::new()))),

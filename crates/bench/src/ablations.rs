@@ -65,8 +65,7 @@ pub fn hint_latency() -> Vec<(u64, f64)> {
             .map(|i| {
                 let profile = MotionProfile::half_and_half(SimDuration::from_secs(10), i % 2 == 0);
                 let trace = Trace::generate(&env, &profile, dur, 7100 + i);
-                let hints =
-                    HintStream::oracle(&profile, dur, SimDuration::from_millis(latency_ms));
+                let hints = HintStream::oracle(&profile, dur, SimDuration::from_millis(latency_ms));
                 let mut ha = HintAware::with_strategies(RapidSample::new(), SampleRate::new());
                 LinkSimulator::new(&trace)
                     .with_hints(&hints)

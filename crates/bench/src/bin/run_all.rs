@@ -1,5 +1,40 @@
-//! Runs the full experiment battery: every table and figure.
+//! Runs the experiment battery: every table and figure, or — with
+//! `--smoke` — a minimal slice through each subsystem so CI can prove the
+//! figure-regeneration binaries still run without paying for the full
+//! battery.
 fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument `{other}`\nusage: run_all [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        run_smoke();
+    } else {
+        run_full();
+    }
+}
+
+/// One cheap experiment per subsystem: sensors (Fig. 2-2), rate adaptation
+/// (one trace of one Fig. 3 scenario), topology (one probing trace),
+/// vehicular (one small network), AP (Fig. 5-1 is already a single run).
+fn run_smoke() {
+    hint_bench::fig_2_2::run();
+    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::MixedMobility, 1);
+    hint_bench::fig_4_2_4_3::run(1);
+    hint_bench::etx_overhead::run();
+    hint_bench::table_5_1::run(1, 30);
+    hint_bench::route_stability::run(1);
+    hint_bench::fig_5_1::run();
+    println!("\nSmoke battery complete.");
+}
+
+fn run_full() {
     hint_bench::fig_2_2::run();
     hint_bench::fig_3_1::run();
     hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::MixedMobility, 10);

@@ -45,7 +45,12 @@ pub fn phy_cyclic_prefix() -> Vec<(String, f64, f64, bool)> {
         out.push((format!("{env:?}"), std, ext, correct));
     }
     table(
-        &["environment", "standard CP", "extended CP", "GPS hint picks winner"],
+        &[
+            "environment",
+            "standard CP",
+            "extended CP",
+            "GPS hint picks winner",
+        ],
         &rows,
     );
     out
@@ -75,7 +80,10 @@ pub fn phy_frame_cap() -> Vec<(f64, u32)> {
         ]);
         out.push((speed, cap));
     }
-    table(&["speed (m/s)", "coherence (ms)", "max frame (bytes)"], &rows);
+    table(
+        &["speed (m/s)", "coherence (ms)", "max frame (bytes)"],
+        &rows,
+    );
     out
 }
 
@@ -186,7 +194,10 @@ mod tests {
         let rows = power_saving();
         let periodic = rows[0].1;
         let hinted = rows[1].1;
-        assert!(hinted * 2.0 < periodic, "hint {hinted} vs periodic {periodic}");
+        assert!(
+            hinted * 2.0 < periodic,
+            "hint {hinted} vs periodic {periodic}"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ pub fn run() -> Fig22Result {
     println!("{}", ascii_plot(&hint_pts, 100, "hint(t)"));
 
     println!();
-    println!("movement interval: {lead} .. {}", SimTime::ZERO + lead + moving);
+    println!(
+        "movement interval: {lead} .. {}",
+        SimTime::ZERO + lead + moving
+    );
     println!("max jerk while stationary: {max_static:.3}  (threshold {JERK_THRESHOLD})");
     println!(
         "moving-phase reports with jerk > {JERK_THRESHOLD}: {:.1}%",

@@ -32,13 +32,8 @@ pub fn run() -> Fig31Result {
     header("Fig. 3-1: conditional loss probability vs lag k (54 Mbit/s)");
     let env = Environment::office();
     let dur = SimDuration::from_secs(120);
-    let static_fates = back_to_back_fates(
-        &env,
-        &MotionProfile::stationary(dur),
-        BitRate::R54,
-        dur,
-        31,
-    );
+    let static_fates =
+        back_to_back_fates(&env, &MotionProfile::stationary(dur), BitRate::R54, dur, 31);
     let mobile_fates = back_to_back_fates(
         &env,
         &MotionProfile::walking(dur, 1.4, 0.0),
@@ -69,7 +64,10 @@ pub fn run() -> Fig31Result {
             vec![k.to_string(), s, m]
         })
         .collect();
-    table(&["lag k", "P(loss|loss) static", "P(loss|loss) mobile"], &rows);
+    table(
+        &["lag k", "P(loss|loss) static", "P(loss|loss) mobile"],
+        &rows,
+    );
     println!(
         "unconditional loss:   static {:.3}   mobile {:.3}",
         sc.unconditional, mc.unconditional
@@ -92,7 +90,9 @@ pub fn run() -> Fig31Result {
     let mobile_coherence = coherence_lag(&dense, (lag1_excess * 0.25).max(0.02))
         .map(|k| (k, k as f64 * pkt_time * 1e3));
     if let Some((k, ms)) = mobile_coherence {
-        println!("mobile curve re-joins baseline at k = {k} packets ≈ {ms:.1} ms (paper: ~8-10 ms)");
+        println!(
+            "mobile curve re-joins baseline at k = {k} packets ≈ {ms:.1} ms (paper: ~8-10 ms)"
+        );
     }
 
     Fig31Result {

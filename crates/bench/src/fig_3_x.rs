@@ -169,7 +169,11 @@ mod tests {
     fn fig_3_5_hintaware_wins_everywhere() {
         for env in run(Fig3::MixedMobility, 4) {
             let hint = norm_of(&env, ProtocolKind::HintAware);
-            for p in [ProtocolKind::SampleRate, ProtocolKind::Rraa, ProtocolKind::Rbar] {
+            for p in [
+                ProtocolKind::SampleRate,
+                ProtocolKind::Rraa,
+                ProtocolKind::Rbar,
+            ] {
                 let other = norm_of(&env, p);
                 assert!(
                     hint > other,
@@ -208,7 +212,12 @@ mod tests {
         let envs = run(Fig3::Vehicular, 4);
         let env = &envs[0];
         let rapid = norm_of(env, ProtocolKind::RapidSample);
-        for p in [ProtocolKind::SampleRate, ProtocolKind::Rraa, ProtocolKind::Rbar, ProtocolKind::Charm] {
+        for p in [
+            ProtocolKind::SampleRate,
+            ProtocolKind::Rraa,
+            ProtocolKind::Rbar,
+            ProtocolKind::Charm,
+        ] {
             assert!(
                 rapid >= norm_of(env, p),
                 "RapidSample must win vehicular vs {}",

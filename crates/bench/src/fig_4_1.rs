@@ -65,7 +65,12 @@ pub fn run() -> Fig41Result {
         .step_by(4)
         .map(|(i, &p)| (i as f64, p))
         .collect();
-    series("delivery ratio (every 4th second; hint up 40s-100s)", &pts, 1.0, 40);
+    series(
+        "delivery ratio (every 4th second; hint up 40s-100s)",
+        &pts,
+        1.0,
+        40,
+    );
     println!("max second-to-second jump while moving: {max_moving_jump:.2} (paper: >0.20)");
     println!("max second-to-second jump while static: {max_static_jump:.2}");
 

@@ -34,7 +34,11 @@ pub fn run() -> (TraceTracking, TraceTracking) {
 
     let mut out = Vec::new();
     for moving in [false, true] {
-        let label = if moving { "mobile (Fig. 4-5)" } else { "stationary (Fig. 4-4)" };
+        let label = if moving {
+            "mobile (Fig. 4-5)"
+        } else {
+            "stationary (Fig. 4-4)"
+        };
         println!("\n--- {label} ---");
         let profile = if moving {
             MotionProfile::walking(dur, 1.4, 0.0)
@@ -73,7 +77,12 @@ pub fn run() -> (TraceTracking, TraceTracking) {
                     (s as f64, v)
                 })
                 .collect();
-            series(&format!("{rate} probes/s (held err {:.3})", err.mean()), &obs_pts, 1.0, 40);
+            series(
+                &format!("{rate} probes/s (held err {:.3})", err.mean()),
+                &obs_pts,
+                1.0,
+                40,
+            );
         }
         out.push(TraceTracking {
             rates_hz: rates.clone(),
@@ -91,7 +100,11 @@ mod tests {
     fn shape_holds() {
         let (stat, mobile) = super::run();
         // Static: even 1 probe/s tracks decently (small error).
-        assert!(stat.held_error[0] < 0.15, "static 1/s err {}", stat.held_error[0]);
+        assert!(
+            stat.held_error[0] < 0.15,
+            "static 1/s err {}",
+            stat.held_error[0]
+        );
         // Mobile: 1 probe/s errs substantially more than 10 probes/s.
         assert!(
             mobile.held_error[0] > mobile.held_error[2],

@@ -91,7 +91,12 @@ pub fn run() -> Fig46Result {
         1.0,
         40,
     );
-    series(&format!("1 probe/s (err {fixed_err:.3})"), &per_sec(&fixed), 1.0, 40);
+    series(
+        &format!("1 probe/s (err {fixed_err:.3})"),
+        &per_sec(&fixed),
+        1.0,
+        40,
+    );
     println!(
         "probes sent: adaptive {}, always-fast equivalent {} (saving {:.1}x)",
         run.probes_sent,

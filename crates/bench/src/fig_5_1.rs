@@ -65,7 +65,12 @@ pub fn run() -> Fig51Result {
 
     println!();
     table(
-        &["policy", "before (5-30s)", "collapse window (36-44s)", "after (48-60s)"],
+        &[
+            "policy",
+            "before (5-30s)",
+            "collapse window (36-44s)",
+            "after (48-60s)",
+        ],
         &[
             vec![
                 "frame fairness + 10s timeout".into(),

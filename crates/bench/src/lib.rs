@@ -14,6 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ablations;
+pub mod etx_overhead;
+pub mod extensions;
 pub mod fig_2_2;
 pub mod fig_3_1;
 pub mod fig_3_x;
@@ -22,9 +25,6 @@ pub mod fig_4_2_4_3;
 pub mod fig_4_4_4_5;
 pub mod fig_4_6;
 pub mod fig_5_1;
-pub mod etx_overhead;
-pub mod extensions;
-pub mod table_5_1;
 pub mod route_stability;
-pub mod ablations;
+pub mod table_5_1;
 pub mod util;

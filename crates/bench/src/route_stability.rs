@@ -36,7 +36,11 @@ pub fn run(n_networks: u64) -> RouteStabilityResult {
     }
     let cte_mean = mean(&cte_all);
     let hf_mean = mean(&hf_all);
-    let factor = if hf_mean > 0.0 { cte_mean / hf_mean } else { 0.0 };
+    let factor = if hf_mean > 0.0 {
+        cte_mean / hf_mean
+    } else {
+        0.0
+    };
 
     table(
         &["strategy", "routes", "mean lifetime (s)"],

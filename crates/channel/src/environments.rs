@@ -5,7 +5,7 @@
 //! 2) a long hallway with line-of-sight between the nodes,
 //! 3) an outdoor setting with a lightly crowded outdoor pavement area, and
 //! 4) a vehicular setting where the sender is stationary on the roadside
-//! and the receiver is in a moving car."
+//!    and the receiver is in a moving car."
 //!
 //! Each preset fixes the mean SNR operating point, shadowing statistics,
 //! Rician K-factors (LoS strength) and, for the vehicular case, a drive-by

@@ -150,11 +150,7 @@ impl Trace {
         if self.slots.is_empty() {
             return 0.0;
         }
-        let ok = self
-            .slots
-            .iter()
-            .filter(|s| s.fates[rate.index()])
-            .count();
+        let ok = self.slots.iter().filter(|s| s.fates[rate.index()]).count();
         ok as f64 / self.slots.len() as f64
     }
 
@@ -279,7 +275,10 @@ mod tests {
         }
         let c = office_trace(true, 2, 43);
         assert!(
-            a.slots.iter().zip(&c.slots).any(|(x, y)| x.fates != y.fates),
+            a.slots
+                .iter()
+                .zip(&c.slots)
+                .any(|(x, y)| x.fates != y.fates),
             "different seeds should differ"
         );
     }

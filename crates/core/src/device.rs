@@ -133,14 +133,14 @@ impl HintedDevice {
                 if let Some(h) = self.fusion.heading_deg() {
                     self.service.publish(self.next_gyro, Hint::Heading(h));
                 }
-                self.next_gyro = self.next_gyro + GYRO_PERIOD;
+                self.next_gyro += GYRO_PERIOD;
             } else if next == self.next_compass {
                 let r = self.compass.read_at(self.next_compass);
                 self.fusion.update_compass(&r);
                 if let Some(h) = self.fusion.heading_deg() {
                     self.service.publish(self.next_compass, Hint::Heading(h));
                 }
-                self.next_compass = self.next_compass + COMPASS_PERIOD;
+                self.next_compass += COMPASS_PERIOD;
             } else {
                 let at = self.next_gps;
                 if let Some(gps) = &mut self.gps {

@@ -93,6 +93,8 @@ mod tests {
 
     #[test]
     fn position_is_local_only() {
-        assert!(Hint::Position(Position { x: 1.0, y: 2.0 }).to_wire().is_none());
+        assert!(Hint::Position(Position { x: 1.0, y: 2.0 })
+            .to_wire()
+            .is_none());
     }
 }

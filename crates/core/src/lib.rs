@@ -47,8 +47,8 @@
 
 pub mod device;
 pub mod hint;
-pub mod power;
 pub mod neighbors;
+pub mod power;
 pub mod service;
 
 /// Deterministic simulation substrate (clock, RNG, statistics, events).

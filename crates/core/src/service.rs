@@ -141,10 +141,18 @@ mod tests {
         let mut s = HintService::new();
         s.publish(SimTime::from_secs(1), Hint::Heading(90.0));
         assert!(s
-            .query_fresh(HintKind::Heading, SimTime::from_secs(2), SimDuration::from_secs(5))
+            .query_fresh(
+                HintKind::Heading,
+                SimTime::from_secs(2),
+                SimDuration::from_secs(5)
+            )
             .is_some());
         assert!(s
-            .query_fresh(HintKind::Heading, SimTime::from_secs(10), SimDuration::from_secs(5))
+            .query_fresh(
+                HintKind::Heading,
+                SimTime::from_secs(10),
+                SimDuration::from_secs(5)
+            )
             .is_none());
     }
 

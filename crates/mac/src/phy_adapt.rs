@@ -129,9 +129,8 @@ pub fn max_frame_for_coherence(
     let budget_us = coherence_s * 0.5 * 1e6;
     // Invert the airtime formula approximately: subtract PLCP, fill
     // symbols.
-    let sym_budget = ((budget_us - timing.plcp.as_micros() as f64)
-        / timing.symbol.as_micros() as f64)
-        .floor();
+    let sym_budget =
+        ((budget_us - timing.plcp.as_micros() as f64) / timing.symbol.as_micros() as f64).floor();
     if sym_budget <= 0.0 {
         return min_bytes;
     }
@@ -178,16 +177,30 @@ mod tests {
         // its 17% symbol stretch; indoors the standard prefix wins.
         let rate = BitRate::R54;
         let snr = 26.0;
-        let out_std =
-            net_throughput_factor(CyclicPrefix::Standard, DelaySpreadEnv::OutdoorLong, snr, rate);
-        let out_ext =
-            net_throughput_factor(CyclicPrefix::Extended, DelaySpreadEnv::OutdoorLong, snr, rate);
-        assert!(out_ext > out_std, "outdoor: ext {out_ext:.3} vs std {out_std:.3}");
+        let out_std = net_throughput_factor(
+            CyclicPrefix::Standard,
+            DelaySpreadEnv::OutdoorLong,
+            snr,
+            rate,
+        );
+        let out_ext = net_throughput_factor(
+            CyclicPrefix::Extended,
+            DelaySpreadEnv::OutdoorLong,
+            snr,
+            rate,
+        );
+        assert!(
+            out_ext > out_std,
+            "outdoor: ext {out_ext:.3} vs std {out_std:.3}"
+        );
         let in_std =
             net_throughput_factor(CyclicPrefix::Standard, DelaySpreadEnv::Indoor, snr, rate);
         let in_ext =
             net_throughput_factor(CyclicPrefix::Extended, DelaySpreadEnv::Indoor, snr, rate);
-        assert!(in_std > in_ext, "indoor: std {in_std:.3} vs ext {in_ext:.3}");
+        assert!(
+            in_std > in_ext,
+            "indoor: std {in_std:.3} vs ext {in_ext:.3}"
+        );
         // And the GPS-lock rule selects accordingly.
         assert_eq!(prefix_for_gps_lock(true), CyclicPrefix::Extended);
         assert_eq!(prefix_for_gps_lock(false), CyclicPrefix::Standard);

@@ -107,7 +107,10 @@ impl Scenario {
             Scenario::MixedMobility { half } => MotionProfile::half_and_half(half, i % 2 == 0),
             Scenario::Mobile { duration } => MotionProfile::walking(duration, 1.4, 90.0),
             Scenario::Static { duration } => MotionProfile::stationary(duration),
-            Scenario::Vehicular { duration, speed_mps } => {
+            Scenario::Vehicular {
+                duration,
+                speed_mps,
+            } => {
                 // The paper's car drove "at varying speeds between 8 and
                 // 72 km/h"; vary the speed across traces around the base.
                 let speed = speed_mps * (0.6 + 0.1 * (i % 9) as f64);
@@ -353,7 +356,11 @@ mod tests {
         let scores = evaluate(&env, &scen, &cfg);
         assert_eq!(scores.len(), 6);
         for s in &scores {
-            assert!(s.mean_bps > 0.0, "{} produced zero goodput", s.protocol.name());
+            assert!(
+                s.mean_bps > 0.0,
+                "{} produced zero goodput",
+                s.protocol.name()
+            );
             assert_eq!(s.per_trace_bps.len(), 2);
         }
     }

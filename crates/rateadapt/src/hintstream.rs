@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn oracle_latency_shifts_transitions() {
         let p = MotionProfile::half_and_half(SimDuration::from_secs(5), true);
-        let h = HintStream::oracle(&p, SimDuration::from_secs(10), SimDuration::from_millis(500));
+        let h = HintStream::oracle(
+            &p,
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(500),
+        );
         // Just after the true transition the delayed oracle still says
         // static.
         assert!(!h.query(SimTime::from_millis(5200)));

@@ -249,10 +249,8 @@ mod tests {
     fn slower_failure_blocks_upward_sampling() {
         // Condition (b): a slower rate's recent failure bars all rates
         // above it from being sampled.
-        let mut rs = RapidSample::with_params(
-            SimDuration::from_millis(5),
-            SimDuration::from_millis(10),
-        );
+        let mut rs =
+            RapidSample::with_params(SimDuration::from_millis(5), SimDuration::from_millis(10));
         // Drop to 36 via failures at 54 and 48.
         rs.report(SimTime::ZERO, BitRate::R54, false);
         rs.report(SimTime::from_micros(200), BitRate::R48, false);

@@ -160,7 +160,10 @@ mod tests {
             let mtl = r.p_mtl(rate);
             assert!((0.0..=1.0).contains(&mtl), "{rate} P_MTL {mtl}");
             let ori = r.p_ori(rate);
-            assert!(ori <= mtl || rate == BitRate::R6, "{rate} ORI {ori} > MTL {mtl}");
+            assert!(
+                ori <= mtl || rate == BitRate::R6,
+                "{rate} ORI {ori} > MTL {mtl}"
+            );
         }
         // The slowest rate never steps down.
         assert_eq!(r.p_mtl(BitRate::R6), 1.0);

@@ -235,7 +235,7 @@ impl<'a> LinkSimulator<'a> {
 
             if ok {
                 delivered += 1;
-                let sec = (now.as_micros() / 1_000_000).min(u64::MAX) as usize;
+                let sec = (now.as_micros() / 1_000_000) as usize;
                 if sec < per_second.len() {
                     per_second[sec] += 1;
                 }
@@ -304,7 +304,12 @@ mod tests {
         } else {
             MotionProfile::stationary(SimDuration::from_secs(secs))
         };
-        Trace::generate(&Environment::office(), &p, SimDuration::from_secs(secs), seed)
+        Trace::generate(
+            &Environment::office(),
+            &p,
+            SimDuration::from_secs(secs),
+            seed,
+        )
     }
 
     #[test]
@@ -358,7 +363,9 @@ mod tests {
         let t = trace(true, 5, 5);
         let run = || {
             let mut rs = RapidSample::new();
-            LinkSimulator::new(&t).run(&mut rs, Workload::Udp).goodput_bps
+            LinkSimulator::new(&t)
+                .run(&mut rs, Workload::Udp)
+                .goodput_bps
         };
         assert_eq!(run(), run());
     }

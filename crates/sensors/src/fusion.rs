@@ -143,7 +143,7 @@ mod tests {
         });
         // 350 pulled halfway toward 10 across the wrap ⇒ 0, not 180.
         let h = est.heading_deg().unwrap();
-        assert!(h < 1.0 || h > 359.0, "heading {h}");
+        assert!(!(1.0..=359.0).contains(&h), "heading {h}");
     }
 
     #[test]

@@ -165,11 +165,17 @@ mod tests {
         let p = MotionProfile::vehicle(SimDuration::from_secs(60), 10.0, 90.0);
         let mut g = Gps::outdoor(p, rng());
         let fix = g.fix_at(SimTime::from_secs(60)).unwrap();
-        assert!((fix.position.x - 600.0).abs() < 20.0, "x {}", fix.position.x);
+        assert!(
+            (fix.position.x - 600.0).abs() < 20.0,
+            "x {}",
+            fix.position.x
+        );
         assert!(fix.position.y.abs() < 20.0, "y {}", fix.position.y);
         assert!((fix.speed_mps - 10.0).abs() < 1.5);
         // Heading near 90°.
-        let err = (fix.heading_deg - 90.0).abs().min(360.0 - (fix.heading_deg - 90.0).abs());
+        let err = (fix.heading_deg - 90.0)
+            .abs()
+            .min(360.0 - (fix.heading_deg - 90.0).abs());
         assert!(err < 20.0, "heading {}", fix.heading_deg);
     }
 

@@ -154,6 +154,10 @@ mod tests {
         g.read_at(SimTime::from_millis(900));
         let r = g.read_at(SimTime::from_millis(1100));
         // +20° over 0.2 s ⇒ ~+100°/s.
-        assert!(r.rate_dps > 50.0 && r.rate_dps < 150.0, "rate {}", r.rate_dps);
+        assert!(
+            r.rate_dps > 50.0 && r.rate_dps < 150.0,
+            "rate {}",
+            r.rate_dps
+        );
     }
 }

@@ -109,8 +109,8 @@ impl MovementDetector {
             let avg = |range: std::ops::Range<usize>| {
                 let mut s = [0.0f64; 3];
                 for i in range.clone() {
-                    for a in 0..3 {
-                        s[a] += self.window[i][a];
+                    for (a, acc) in s.iter_mut().enumerate() {
+                        *acc += self.window[i][a];
                     }
                 }
                 let n = range.len() as f64;
@@ -198,7 +198,10 @@ mod tests {
             }
         }
         let fired = fired_at.expect("detector should fire");
-        assert!(fired <= 14, "fired at report {fired}, want within 5 reports");
+        assert!(
+            fired <= 14,
+            "fired at report {fired}, want within 5 reports"
+        );
     }
 
     #[test]

@@ -127,11 +127,7 @@ impl MotionProfile {
     }
 
     /// Fig. 2-2's shape: static, then moving, then static again.
-    pub fn static_move_static(
-        lead: SimDuration,
-        moving: SimDuration,
-        tail: SimDuration,
-    ) -> Self {
+    pub fn static_move_static(lead: SimDuration, moving: SimDuration, tail: SimDuration) -> Self {
         MotionProfile::new(vec![
             MotionSegment {
                 state: MotionState::Static,

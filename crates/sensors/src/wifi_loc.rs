@@ -149,7 +149,11 @@ mod tests {
             })
             .collect();
         let est = localize(&obs, &m).expect("enough APs");
-        assert!(est.distance(truth) < 0.5, "error {:.2} m", est.distance(truth));
+        assert!(
+            est.distance(truth) < 0.5,
+            "error {:.2} m",
+            est.distance(truth)
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a logic error and panics in debug builds;
     /// in release builds the event fires immediately (at `now`).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -105,10 +105,7 @@ pub fn ascii_plot(points: &[(f64, f64)], width: usize, label: &str) -> String {
         return format!("{label}: (no data)");
     }
     let ymin = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-    let ymax = points
-        .iter()
-        .map(|p| p.1)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let ymax = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
     let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     let span = (ymax - ymin).max(1e-12);
     // Resample to `width` columns by nearest point.

@@ -1,7 +1,10 @@
 //! Property-based tests for the simulation substrate.
 
 use hint_sim::series::TimeSeries;
-use hint_sim::{ci95, mean, median, percentile, stddev, EventQueue, OnlineStats, RngStream, SimDuration, SimTime};
+use hint_sim::{
+    ci95, mean, median, percentile, stddev, EventQueue, OnlineStats, RngStream, SimDuration,
+    SimTime,
+};
 use proptest::prelude::*;
 use rand::RngCore;
 

@@ -194,7 +194,7 @@ pub fn fixed_rate_run(stream: &ProbeStream, rate_hz: f64) -> Vec<DeliverySample>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::delivery::{actual_at, actual_series};
+    use crate::delivery::actual_series;
     use hint_channel::{Environment, Trace};
     use hint_mac::BitRate;
     use hint_sensors::MotionProfile;

@@ -16,7 +16,7 @@
 //! at low `f`, which is precisely what movement punishes).
 
 use crate::probes::{Probe, ProbeStream};
-use hint_sim::{SimTime, OnlineStats};
+use hint_sim::{OnlineStats, SimTime};
 
 /// The estimation window: 10 probes (the paper's choice).
 pub const WINDOW_PROBES: usize = 10;
@@ -281,7 +281,11 @@ mod tests {
         for seed in 0..5 {
             err.merge(&estimate_error(&stream(false, 180, 300 + seed), 0.5));
         }
-        assert!(err.mean() < 0.12, "static error at 0.5/s: {:.3}", err.mean());
+        assert!(
+            err.mean() < 0.12,
+            "static error at 0.5/s: {:.3}",
+            err.mean()
+        );
     }
 
     #[test]

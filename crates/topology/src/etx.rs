@@ -65,13 +65,7 @@ pub fn wrong_link_analysis(p1: f64, p2: f64, delta: f64) -> WrongLinkAnalysis {
 /// delivery estimates carry independent uniform ±δ errors: the fraction of
 /// trials in which the worse link wins, times the overhead of that
 /// mistake.
-pub fn expected_overhead_monte_carlo(
-    p1: f64,
-    p2: f64,
-    delta: f64,
-    trials: u32,
-    seed: u64,
-) -> f64 {
+pub fn expected_overhead_monte_carlo(p1: f64, p2: f64, delta: f64, trials: u32, seed: u64) -> f64 {
     assert!(p2 > 0.0 && p2 <= p1 && p1 <= 1.0);
     let mut rng = RngStream::new(seed).derive("etx-mc");
     let analysis = wrong_link_analysis(p1, p2, delta);
@@ -134,7 +128,10 @@ mod tests {
         let cond = wrong_link_analysis(0.8, 0.6, 0.25).overhead;
         let exp = expected_overhead_monte_carlo(0.8, 0.6, 0.25, 100_000, 1);
         assert!(exp > 0.01, "expected overhead {exp}");
-        assert!(exp < cond, "expected {exp} must be below conditional {cond}");
+        assert!(
+            exp < cond,
+            "expected {exp} must be below conditional {cond}"
+        );
         // With tiny δ, mistakes vanish.
         let exp0 = expected_overhead_monte_carlo(0.8, 0.6, 0.01, 100_000, 2);
         assert_eq!(exp0, 0.0);

@@ -14,7 +14,7 @@
 //! the true windowed delivery probabilities provides the lower bound.
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveProber, ProbingMode};
-use crate::delivery::{actual_at, actual_series, DeliverySample, DeliveryEstimator, WINDOW_PROBES};
+use crate::delivery::{actual_at, actual_series, DeliverySample, WINDOW_PROBES};
 use crate::probes::ProbeStream;
 use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
@@ -83,7 +83,8 @@ pub fn run_mesh(
             // regime where stale estimates pick wrong (Sec. 4.2). A mesh
             // of permanently static relays would make probing strategy
             // irrelevant: the same link would win every decision.
-            let profile = MotionProfile::half_and_half(SimDuration::from_secs(secs / 2), i % 2 == 0);
+            let profile =
+                MotionProfile::half_and_half(SimDuration::from_secs(secs / 2), i % 2 == 0);
             let link_seed = seed.wrapping_mul(1000).wrapping_add(i as u64);
             let trace = Trace::generate(&env, &profile, dur, link_seed);
             let stream = ProbeStream::from_trace(&trace, BitRate::R6, link_seed ^ 0xE7);

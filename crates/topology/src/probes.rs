@@ -97,7 +97,12 @@ mod tests {
 
     fn trace(secs: u64) -> Trace {
         let p = MotionProfile::stationary(SimDuration::from_secs(secs));
-        Trace::generate(&Environment::mesh_edge(), &p, SimDuration::from_secs(secs), 1)
+        Trace::generate(
+            &Environment::mesh_edge(),
+            &p,
+            SimDuration::from_secs(secs),
+            1,
+        )
     }
 
     #[test]

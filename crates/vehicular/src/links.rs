@@ -60,14 +60,11 @@ impl LinkTracker {
         for a in 0..n {
             for b in (a + 1)..n {
                 let key = (a, b);
-                let in_range =
-                    snapshot[a].position.distance(snapshot[b].position) <= LINK_RANGE_M;
+                let in_range = snapshot[a].position.distance(snapshot[b].position) <= LINK_RANGE_M;
                 match (self.active.get(&key), in_range) {
                     (None, true) => {
-                        let diff = heading_difference(
-                            snapshot[a].heading_deg,
-                            snapshot[b].heading_deg,
-                        );
+                        let diff =
+                            heading_difference(snapshot[a].heading_deg, snapshot[b].heading_deg);
                         self.active.insert(key, (t, diff));
                     }
                     (Some(&(start, diff)), false) => {

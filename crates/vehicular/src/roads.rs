@@ -86,7 +86,7 @@ impl RoadNetwork {
                 y: rng.uniform() * region_m,
             };
             let length = region_m * (0.6 + 0.4 * rng.uniform());
-            let h = (heading as f64).to_radians();
+            let h = heading.to_radians();
             let start = Point {
                 x: mid.x - length / 2.0 * h.sin(),
                 y: mid.y - length / 2.0 * h.cos(),

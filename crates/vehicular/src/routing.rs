@@ -163,8 +163,7 @@ pub fn pick_route(
 /// within range.
 pub fn route_lifetime(snapshots: &[Vec<VehicleState>], t0: usize, route: &[usize]) -> usize {
     let mut life = 0;
-    'outer: for t in (t0 + 1)..snapshots.len() {
-        let snap = &snapshots[t];
+    'outer: for snap in snapshots.iter().skip(t0 + 1) {
         for hop in route.windows(2) {
             if snap[hop[0]].position.distance(snap[hop[1]].position) > LINK_RANGE_M {
                 break 'outer;
@@ -187,7 +186,10 @@ pub struct StabilityResult {
 impl StabilityResult {
     /// Median lifetimes `(cte, hint_free)`.
     pub fn medians(&self) -> (f64, f64) {
-        (median(&self.cte_lifetimes), median(&self.hint_free_lifetimes))
+        (
+            median(&self.cte_lifetimes),
+            median(&self.hint_free_lifetimes),
+        )
     }
 
     /// Mean lifetimes `(cte, hint_free)`.

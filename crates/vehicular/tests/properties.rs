@@ -106,7 +106,7 @@ proptest! {
                     }
                     // Lifetime is well-defined and bounded by the horizon.
                     let life = route_lifetime(&snaps, 0, &route);
-                    prop_assert!(life <= snaps.len() - 1);
+                    prop_assert!(life < snaps.len());
                 }
             }
         }

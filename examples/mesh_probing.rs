@@ -34,17 +34,26 @@ fn main() {
     let step = SimDuration::from_millis(100);
 
     println!();
-    println!("{:<22} {:>8} {:>16}", "strategy", "probes", "tracking error");
+    println!(
+        "{:<22} {:>8} {:>16}",
+        "strategy", "probes", "tracking error"
+    );
 
     let slow = fixed_rate_run(&stream, 1.0);
     let slow_err = held_tracking_error(&slow, &actual, step).mean();
     let slow_probes = (duration.as_secs_f64() * 1.0) as u64;
-    println!("{:<22} {:>8} {:>16.3}", "fixed 1 probe/s", slow_probes, slow_err);
+    println!(
+        "{:<22} {:>8} {:>16.3}",
+        "fixed 1 probe/s", slow_probes, slow_err
+    );
 
     let fast = fixed_rate_run(&stream, 10.0);
     let fast_err = held_tracking_error(&fast, &actual, step).mean();
     let fast_probes = (duration.as_secs_f64() * 10.0) as u64;
-    println!("{:<22} {:>8} {:>16.3}", "fixed 10 probes/s", fast_probes, fast_err);
+    println!(
+        "{:<22} {:>8} {:>16.3}",
+        "fixed 10 probes/s", fast_probes, fast_err
+    );
 
     let run = AdaptiveProber::new().run(&stream, |t| hints.query(t));
     let adaptive_err = held_tracking_error(&run.estimates, &actual, step).mean();

@@ -31,7 +31,11 @@ fn main() {
         println!(
             "{:>5}  {:>7}  {:>13}  {:>12}  {:>16}",
             format!("{t}"),
-            if profile.is_moving_at(t) { "moving" } else { "static" },
+            if profile.is_moving_at(t) {
+                "moving"
+            } else {
+                "static"
+            },
             match hints.movement {
                 Some(m) if m.is_moving() => "moving",
                 Some(_) => "static",

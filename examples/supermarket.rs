@@ -28,7 +28,10 @@ fn main() {
         duration, env.name
     );
     println!();
-    println!("{:<12} {:>14} {:>12} {:>10}", "protocol", "goodput (Mbps)", "delivered", "attempts");
+    println!(
+        "{:<12} {:>14} {:>12} {:>10}",
+        "protocol", "goodput (Mbps)", "delivered", "attempts"
+    );
 
     let mut results: Vec<(&str, f64)> = Vec::new();
     for seed in [1u64] {
@@ -52,8 +55,16 @@ fn main() {
         }
     }
 
-    let hint = results.iter().find(|r| r.0 == "HintAware").expect("scored").1;
-    let sample = results.iter().find(|r| r.0 == "SampleRate").expect("scored").1;
+    let hint = results
+        .iter()
+        .find(|r| r.0 == "HintAware")
+        .expect("scored")
+        .1;
+    let sample = results
+        .iter()
+        .find(|r| r.0 == "SampleRate")
+        .expect("scored")
+        .1;
     println!();
     println!(
         "Hint-aware switching beats SampleRate by {:+.0}% on this shopper's \

@@ -26,7 +26,10 @@ fn main() {
     let (medians, all_median, counts) = table_5_1(&records);
 
     println!();
-    println!("link duration by initial heading difference ({} links):", records.len());
+    println!(
+        "link duration by initial heading difference ({} links):",
+        records.len()
+    );
     for (i, &(lo, hi)) in TABLE_5_1_BUCKETS.iter().enumerate() {
         println!(
             "  [{:>3.0}°,{:>3.0}°): median {:>4.0} s  ({} links)",
@@ -46,7 +49,13 @@ fn main() {
     println!("Route selection on a dense downtown fleet (300 vehicles):");
     let res = route_stability_experiment(8, 300, 900.0, 300, 10, 0xCAB);
     let (cm, hm) = res.means();
-    println!("  CTE (heading-hint) routes: mean lifetime {cm:.2} s over {} routes", res.cte_lifetimes.len());
+    println!(
+        "  CTE (heading-hint) routes: mean lifetime {cm:.2} s over {} routes",
+        res.cte_lifetimes.len()
+    );
     println!("  hint-free min-hop routes : mean lifetime {hm:.2} s");
-    println!("  => {:.1}x more stable routes from a two-byte heading hint", cm / hm.max(1e-9));
+    println!(
+        "  => {:.1}x more stable routes from a two-byte heading hint",
+        cm / hm.max(1e-9)
+    );
 }

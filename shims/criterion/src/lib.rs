@@ -1,0 +1,272 @@
+//! Offline shim for the parts of `criterion` this workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], [`criterion_group!`], and [`criterion_main!`].
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small, honest timing harness instead of criterion's statistical
+//! machinery: each benchmark is warmed up, then run in timed batches until
+//! a measurement budget is spent, and the per-iteration mean, minimum, and
+//! maximum over the batches are reported. There is no outlier rejection or
+//! regression analysis — numbers are for trajectory tracking (is this PR
+//! faster or slower than the last one?), not publication.
+//!
+//! Set `CRITERION_SNAPSHOT_PATH=/path/to/file.json` to also write the
+//! results as a JSON array — `BENCH_baseline.json` at the repo root is
+//! generated this way (see README.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark identifier (group path included).
+    pub id: String,
+    /// Mean nanoseconds per iteration across all measured batches.
+    pub mean_ns: f64,
+    /// Fastest batch, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest batch, ns per iteration.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark harness. Collects measurements and reports them when
+/// dropped (end of `criterion_main!`).
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurements: Vec::new(),
+            warm_up: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure from CLI arguments. The shim accepts and ignores
+    /// criterion's flags (`--bench` etc. are handled by cargo itself).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(r) => {
+                println!(
+                    "{id:<40} {:>12.1} ns/iter  (min {:.1}, max {:.1}, n={})",
+                    r.0, r.1, r.2, r.3
+                );
+                self.measurements.push(Measurement {
+                    id: id.to_string(),
+                    mean_ns: r.0,
+                    min_ns: r.1,
+                    max_ns: r.2,
+                    iterations: r.3,
+                });
+            }
+            None => println!("{id:<40} (no iterations run)"),
+        }
+        self
+    }
+
+    /// Start a named group; benchmark ids inside are `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Write measurements as JSON to `path`.
+    fn write_snapshot(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            // Manual JSON keeps this shim dependency-free; ids are plain
+            // ASCII benchmark names, so escaping quotes/backslashes suffices.
+            let id = m.id.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                "  {{\"id\":\"{id}\",\"mean_ns\":{:.2},\"min_ns\":{:.2},\
+                 \"max_ns\":{:.2},\"iterations\":{}}}",
+                m.mean_ns, m.min_ns, m.max_ns, m.iterations
+            ));
+        }
+        out.push_str("\n]\n");
+        std::fs::write(path, out)
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Ok(path) = std::env::var("CRITERION_SNAPSHOT_PATH") {
+            if !path.is_empty() {
+                match self.write_snapshot(&path) {
+                    Ok(()) => println!("\nwrote benchmark snapshot to {path}"),
+                    Err(e) => eprintln!("\nfailed to write snapshot to {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// A named benchmark group (`group.bench_function(...)`, `group.finish()`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, keeping its return value alive via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, and use the
+        // observed speed to size measurement batches (~1/50 of the
+        // measurement budget each, at least 1 iteration, so min/max
+        // span a few dozen batches).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((self.measure.as_nanos() as f64 / 50.0 / per_iter.max(1.0)) as u64).max(1);
+
+        let mut total_iters: u64 = 0;
+        let mut total_ns: f64 = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            let per = ns / batch as f64;
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+            total_ns += ns;
+            total_iters += batch;
+        }
+        self.result = Some((
+            total_ns / total_iters.max(1) as f64,
+            min_ns,
+            max_ns,
+            total_iters,
+        ));
+    }
+}
+
+/// Group benchmark functions under one name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Produce `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            measurements: Vec::new(),
+        };
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(1));
+                x
+            })
+        });
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "noop_add");
+        assert!(m.mean_ns > 0.0);
+        assert!(m.iterations > 0);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            measurements: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("one", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+        assert_eq!(c.measurements()[0].id, "grp/one");
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline shim for the parts of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a small property-testing harness that is source-compatible with the
+//! proptest subset its tests are written against:
+//!
+//! * the [`proptest!`] macro over `name(pat in strategy, ...) { body }`
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//! * [`Strategy`] with `prop_map`, integer/float range strategies,
+//!   `any::<T>()`, tuple strategies, [`Just`], and
+//!   [`collection::vec`]
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message of the underlying assert) but is not minimised.
+//! * **Deterministic cases.** Each test runs a fixed number of cases
+//!   (default 64, override with `PROPTEST_CASES`) seeded per case index,
+//!   so failures always reproduce.
+//!
+//! Both trades favour reproducible CI over exploration depth, which is the
+//! role property tests play in this repository's tier-1 verify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Any, Arbitrary, Just, Strategy, TestRng};
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies and runs the body for
+/// [`cases()`](crate::cases) deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::cases();
+            // Evaluate each strategy expression once, like real proptest.
+            let __strats = ($(($strat),)*);
+            for __case in 0..__cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $crate::__sample_into!(__strats, __rng, ($($pat),*));
+                $body
+            }
+        }
+        $crate::proptest!($($rest)*);
+    };
+}
+
+/// Internal helper for [`proptest!`]: destructure the strategy tuple and
+/// bind each pattern to a fresh sample.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __sample_into {
+    ($strats:ident, $rng:ident, ()) => {};
+    ($strats:ident, $rng:ident, ($p0:pat)) => {
+        let ($p0,) = ($crate::Strategy::sample(&$strats.0, &mut $rng),);
+    };
+    ($strats:ident, $rng:ident, ($p0:pat, $p1:pat)) => {
+        let ($p0, $p1) = (
+            $crate::Strategy::sample(&$strats.0, &mut $rng),
+            $crate::Strategy::sample(&$strats.1, &mut $rng),
+        );
+    };
+    ($strats:ident, $rng:ident, ($p0:pat, $p1:pat, $p2:pat)) => {
+        let ($p0, $p1, $p2) = (
+            $crate::Strategy::sample(&$strats.0, &mut $rng),
+            $crate::Strategy::sample(&$strats.1, &mut $rng),
+            $crate::Strategy::sample(&$strats.2, &mut $rng),
+        );
+    };
+    ($strats:ident, $rng:ident, ($p0:pat, $p1:pat, $p2:pat, $p3:pat)) => {
+        let ($p0, $p1, $p2, $p3) = (
+            $crate::Strategy::sample(&$strats.0, &mut $rng),
+            $crate::Strategy::sample(&$strats.1, &mut $rng),
+            $crate::Strategy::sample(&$strats.2, &mut $rng),
+            $crate::Strategy::sample(&$strats.3, &mut $rng),
+        );
+    };
+    ($strats:ident, $rng:ident, ($p0:pat, $p1:pat, $p2:pat, $p3:pat, $p4:pat)) => {
+        let ($p0, $p1, $p2, $p3, $p4) = (
+            $crate::Strategy::sample(&$strats.0, &mut $rng),
+            $crate::Strategy::sample(&$strats.1, &mut $rng),
+            $crate::Strategy::sample(&$strats.2, &mut $rng),
+            $crate::Strategy::sample(&$strats.3, &mut $rng),
+            $crate::Strategy::sample(&$strats.4, &mut $rng),
+        );
+    };
+    ($strats:ident, $rng:ident, ($p0:pat, $p1:pat, $p2:pat, $p3:pat, $p4:pat, $p5:pat)) => {
+        let ($p0, $p1, $p2, $p3, $p4, $p5) = (
+            $crate::Strategy::sample(&$strats.0, &mut $rng),
+            $crate::Strategy::sample(&$strats.1, &mut $rng),
+            $crate::Strategy::sample(&$strats.2, &mut $rng),
+            $crate::Strategy::sample(&$strats.3, &mut $rng),
+            $crate::Strategy::sample(&$strats.4, &mut $rng),
+            $crate::Strategy::sample(&$strats.5, &mut $rng),
+        );
+    };
+}
+
+/// Assert a condition inside a property body (panics on failure, like
+/// `assert!`; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn any_and_map(b in any::<bool>(), n in (0u8..3).prop_map(|v| v * 10)) {
+            prop_assert!(matches!(b, true | false));
+            prop_assert!(n == 0 || n == 10 || n == 20);
+        }
+
+        #[test]
+        fn vec_lengths(xs in collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise((a, b) in (0u8..4, 10u8..14)) {
+            prop_assert!(a < 4);
+            prop_assert_eq!(b / 10, 1);
+            prop_assert_ne!(a as i32 - 20, b as i32);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut r1 = TestRng::for_case("t", 3);
+        let mut r2 = TestRng::for_case("t", 3);
+        let s = 0u64..1000;
+        assert_eq!(Strategy::sample(&s, &mut r1), Strategy::sample(&s, &mut r2));
+    }
+}

@@ -81,7 +81,9 @@ fn cmd_gen(args: &[String]) -> ExitCode {
     ) else {
         return usage();
     };
-    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let Ok(secs) = secs_s.parse::<u64>() else {
         eprintln!("bad --secs {secs_s}");
         return ExitCode::from(2);

@@ -31,7 +31,11 @@ fn sensor_hinted_probing_beats_fixed_slow_probing() {
         let actual = actual_series(&stream);
         let run = AdaptiveProber::new().run(&stream, |t| hints.query(t));
         adaptive.merge(&held_tracking_error(&run.estimates, &actual, step));
-        fixed.merge(&held_tracking_error(&fixed_rate_run(&stream, 1.0), &actual, step));
+        fixed.merge(&held_tracking_error(
+            &fixed_rate_run(&stream, 1.0),
+            &actual,
+            step,
+        ));
         probes_sent += run.probes_sent;
         fast_equiv += run.fast_equivalent;
     }

@@ -39,7 +39,7 @@ fn run_with_wire_hints(trace: &Trace, receiver: &mut HintedDevice, use_hints: bo
 
         let rate = adapter.pick_rate(now);
         let ok = trace.fate(now, rate) && !rng.chance(trace.noise_loss);
-        now = now + timing.exchange_airtime(rate, 1000);
+        now += timing.exchange_airtime(rate, 1000);
         adapter.report(now, rate, ok);
 
         if ok {
