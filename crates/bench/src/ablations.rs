@@ -9,7 +9,8 @@
 //! 3. **Adaptive prober hold-down** — the 1 s fast-probing tail after
 //!    movement stops, which keeps the estimation window trustworthy.
 
-use crate::util::{header, table};
+use crate::report::Report;
+use crate::rline;
 use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
 use hint_rateadapt::protocols::{HintAware, RapidSample, SampleRate};
@@ -23,7 +24,15 @@ use hint_topology::ProbeStream;
 /// Sweep RapidSample's `δ_success` on mobile traces; returns
 /// `(delta_success_ms, mean goodput Mbps)` rows.
 pub fn rapidsample_delta_success() -> Vec<(u64, f64)> {
-    header("Ablation: RapidSample delta_success sweep (mobile, office, UDP)");
+    let (r, rows) = rapidsample_delta_success_report();
+    r.print();
+    rows
+}
+
+/// [`rapidsample_delta_success`] as a buffered job (runner entry point).
+pub fn rapidsample_delta_success_report() -> (Report, Vec<(u64, f64)>) {
+    let mut r = Report::new("ablation_delta_success");
+    r.header("Ablation: RapidSample delta_success sweep (mobile, office, UDP)");
     let env = Environment::office();
     let dur = SimDuration::from_secs(20);
     let mut rows_out = Vec::new();
@@ -47,15 +56,26 @@ pub fn rapidsample_delta_success() -> Vec<(u64, f64)> {
         rows.push(vec![format!("{delta_ms}"), format!("{m:.2}")]);
         rows_out.push((delta_ms, m));
     }
-    table(&["delta_success (ms)", "goodput (Mbps)"], &rows);
-    println!("(paper: 'found little difference' across delta_success values)");
-    rows_out
+    r.table(&["delta_success (ms)", "goodput (Mbps)"], &rows);
+    rline!(
+        r,
+        "(paper: 'found little difference' across delta_success values)"
+    );
+    (r, rows_out)
 }
 
 /// Sweep the movement-hint latency fed to the hint-aware protocol on
 /// mixed traces; returns `(latency_ms, mean goodput Mbps)` rows.
 pub fn hint_latency() -> Vec<(u64, f64)> {
-    header("Ablation: movement-hint latency vs hint-aware goodput (mixed, TCP)");
+    let (r, rows) = hint_latency_report();
+    r.print();
+    rows
+}
+
+/// [`hint_latency`] as a buffered job (runner entry point).
+pub fn hint_latency_report() -> (Report, Vec<(u64, f64)>) {
+    let mut r = Report::new("ablation_hint_latency");
+    r.header("Ablation: movement-hint latency vs hint-aware goodput (mixed, TCP)");
     let env = Environment::office();
     let dur = SimDuration::from_secs(20);
     let mut out = Vec::new();
@@ -78,15 +98,26 @@ pub fn hint_latency() -> Vec<(u64, f64)> {
         rows.push(vec![format!("{latency_ms}"), format!("{m:.2}")]);
         out.push((latency_ms, m));
     }
-    table(&["hint latency (ms)", "HintAware goodput (Mbps)"], &rows);
-    println!("(the <100 ms sensor detector sits on the flat part of this curve)");
-    out
+    r.table(&["hint latency (ms)", "HintAware goodput (Mbps)"], &rows);
+    rline!(
+        r,
+        "(the <100 ms sensor detector sits on the flat part of this curve)"
+    );
+    (r, out)
 }
 
 /// Sweep the adaptive prober's hold-down; returns
 /// `(hold_down_ms, mean held tracking error)` rows.
 pub fn prober_hold_down() -> Vec<(u64, f64)> {
-    header("Ablation: adaptive prober hold-down vs tracking error (mixed trace)");
+    let (r, rows) = prober_hold_down_report();
+    r.print();
+    rows
+}
+
+/// [`prober_hold_down`] as a buffered job (runner entry point).
+pub fn prober_hold_down_report() -> (Report, Vec<(u64, f64)>) {
+    let mut r = Report::new("ablation_prober_hold_down");
+    r.header("Ablation: adaptive prober hold-down vs tracking error (mixed trace)");
     let env = Environment::mesh_edge();
     let mut out = Vec::new();
     let mut rows = Vec::new();
@@ -95,7 +126,7 @@ pub fn prober_hold_down() -> Vec<(u64, f64)> {
         for i in 0..6u64 {
             let profile = MotionProfile::alternating(SimDuration::from_secs(10), 3);
             let dur = profile.duration();
-            let trace = Trace::generate(&env, &profile, dur, 7200 + i);
+            let trace = Trace::generate(&env, &profile, dur, 7500 + i);
             let stream = ProbeStream::from_trace(&trace, BitRate::R6, i);
             let actual = actual_series(&stream);
             let prober = AdaptiveProber::with_config(AdaptiveConfig {
@@ -112,8 +143,8 @@ pub fn prober_hold_down() -> Vec<(u64, f64)> {
         rows.push(vec![format!("{hold_ms}"), format!("{m:.4}")]);
         out.push((hold_ms, m));
     }
-    table(&["hold-down (ms)", "held tracking error"], &rows);
-    out
+    r.table(&["hold-down (ms)", "held tracking error"], &rows);
+    (r, out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,159 @@
+//! The CI perf-regression gate.
+//!
+//! Compares a freshly captured `hot_paths` snapshot (written by the bench
+//! harness when `CRITERION_SNAPSHOT_PATH` is set) against the committed
+//! `BENCH_baseline.json`, entry by entry, and exits nonzero when any hot
+//! path regressed beyond tolerance:
+//!
+//! ```text
+//! cargo bench -p hint-bench --bench hot_paths     # CRITERION_SNAPSHOT_PATH=current.json
+//! cargo run -p hint-bench --bin bench_gate -- BENCH_baseline.json current.json
+//! ```
+//!
+//! A regression is `current > baseline · (1 + tolerance)` **and**
+//! `current − baseline > floor_ns`: the relative tolerance (default 50%,
+//! `--tolerance 0.5`) absorbs machine-to-machine and scheduler noise on
+//! shared CI runners, while the absolute floor (default 10 ns,
+//! `--floor-ns 10`) keeps single-digit-nanosecond entries from tripping
+//! the ratio on timer jitter.
+//!
+//! A baseline entry **missing** from the current snapshot also fails the
+//! gate — a renamed or deleted benchmark would otherwise silently drop a
+//! hot path out of perf coverage (`--allow-missing` for intentional
+//! removals, alongside the baseline refresh). Entries new in the current
+//! snapshot are reported but tolerated: new benchmarks land before their
+//! baseline does.
+
+use serde::Deserialize;
+
+/// One benchmark entry, as written by the bench harness snapshot.
+#[derive(Debug, Deserialize)]
+struct BenchEntry {
+    id: String,
+    mean_ns: f64,
+    #[allow(dead_code)]
+    min_ns: f64,
+    #[allow(dead_code)]
+    max_ns: f64,
+    #[allow(dead_code)]
+    iterations: u64,
+}
+
+const USAGE: &str = "usage: bench_gate [--tolerance FRACTION] [--floor-ns NS] [--allow-missing] \
+     BASELINE.json CURRENT.json";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Vec<BenchEntry> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_error(&format!("cannot read `{path}`: {e}")));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| usage_error(&format!("cannot parse `{path}`: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.5f64;
+    let mut floor_ns = 10.0f64;
+    let mut allow_missing = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--tolerance needs a value"));
+                tolerance = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad tolerance `{v}`")));
+                if !(0.0..10.0).contains(&tolerance) {
+                    usage_error("tolerance must be in [0, 10)");
+                }
+            }
+            "--floor-ns" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--floor-ns needs a value"));
+                floor_ns = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad floor `{v}`")));
+            }
+            "--allow-missing" => allow_missing = true,
+            other if other.starts_with("--") => usage_error(&format!("unknown flag `{other}`")),
+            other => files.push(other.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        usage_error("need exactly two files: BASELINE.json CURRENT.json");
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    println!(
+        "{:<40} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline ns", "current ns", "delta"
+    );
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|c| c.id == base.id) else {
+            missing += 1;
+            println!(
+                "{:<40} {:>12.1} {:>12} {:>8}  MISSING in current",
+                base.id, base.mean_ns, "-", "-"
+            );
+            continue;
+        };
+        let delta = cur.mean_ns / base.mean_ns.max(1e-9) - 1.0;
+        let regressed =
+            cur.mean_ns > base.mean_ns * (1.0 + tolerance) && cur.mean_ns - base.mean_ns > floor_ns;
+        let verdict = if regressed {
+            regressions += 1;
+            "REGRESSED"
+        } else if delta < -0.05 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<40} {:>12.1} {:>12.1} {:>+7.1}%  {verdict}",
+            base.id,
+            base.mean_ns,
+            cur.mean_ns,
+            delta * 100.0
+        );
+    }
+    for cur in &current {
+        if !baseline.iter().any(|b| b.id == cur.id) {
+            println!(
+                "{:<40} {:>12} {:>12.1} {:>8}  NEW (no baseline)",
+                cur.id, "-", cur.mean_ns, "-"
+            );
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} hot path(s) regressed beyond {:.0}% + {floor_ns} ns vs {baseline_path}",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    if missing > 0 && !allow_missing {
+        eprintln!(
+            "bench_gate: {missing} baseline entr(y/ies) missing from {current_path} — a renamed or \
+             deleted benchmark drops perf coverage; refresh the baseline or pass --allow-missing"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_gate: no regressions beyond {:.0}% + {floor_ns} ns ({} entries checked)",
+        tolerance * 100.0,
+        baseline.len()
+    );
+}

@@ -2,59 +2,123 @@
 //! `--smoke` — a minimal slice through each subsystem so CI can prove the
 //! figure-regeneration binaries still run without paying for the full
 //! battery.
-fn main() {
-    let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+//!
+//! Flags (composable):
+//!
+//! * `--jobs N`   — run experiments on N worker threads. Every experiment
+//!   seeds its own RNG streams and buffers its output, so the battery's
+//!   stdout is **byte-identical for every N** (per-job wall-clock timings
+//!   go to stderr).
+//! * `--filter S` — run only experiments whose name contains `S`
+//!   (e.g. `--filter fig_3` or `--filter table_5_1`).
+//! * `--smoke`    — the CI-sized battery instead of the full one.
+
+use hint_bench::runner::{filter_jobs, full_battery, run_jobs_with, smoke_battery, Job};
+use std::io::Write;
+
+const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--filter SUBSTRING]\n\
+       --jobs N    run experiments on N worker threads (N >= 1; output is\n\
+                   byte-identical to --jobs 1)\n\
+       --filter S  run only experiments whose name contains S\n\
+       --smoke     run the CI-sized smoke battery";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("run_all: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct Options {
+    smoke: bool,
+    jobs: usize,
+    filter: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options {
+        smoke: false,
+        jobs: 1,
+        filter: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--smoke" => smoke = true,
-            other => {
-                eprintln!("unknown argument `{other}`\nusage: run_all [--smoke]");
-                std::process::exit(2);
+            "--smoke" => opts.smoke = true,
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs needs a value"));
+                match v.parse::<usize>() {
+                    Ok(0) => usage_error("--jobs must be at least 1"),
+                    Ok(n) => opts.jobs = n,
+                    Err(_) => usage_error(&format!("--jobs needs a positive integer, got `{v}`")),
+                }
             }
+            "--filter" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--filter needs a value"));
+                opts.filter = Some(v.clone());
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
-    if smoke {
-        run_smoke();
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
+    let battery: Vec<Job> = if opts.smoke {
+        smoke_battery()
     } else {
-        run_full();
+        full_battery()
+    };
+    let total = battery.len();
+    let selected = match &opts.filter {
+        Some(f) => filter_jobs(battery, f),
+        None => battery,
+    };
+    if selected.is_empty() {
+        let f = opts.filter.as_deref().unwrap_or("");
+        usage_error(&format!("no experiment matches filter `{f}`"));
     }
-}
 
-/// One cheap experiment per subsystem: sensors (Fig. 2-2), rate adaptation
-/// (one trace of one Fig. 3 scenario), topology (one probing trace),
-/// vehicular (one small network), AP (Fig. 5-1 is already a single run).
-fn run_smoke() {
-    hint_bench::fig_2_2::run();
-    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::MixedMobility, 1);
-    hint_bench::fig_4_2_4_3::run(1);
-    hint_bench::etx_overhead::run();
-    hint_bench::table_5_1::run(1, 30);
-    hint_bench::route_stability::run(1);
-    hint_bench::fig_5_1::run();
-    println!("\nSmoke battery complete.");
-}
+    let n_selected = selected.len();
+    let start = std::time::Instant::now();
+    // Stdout: the experiments stream in battery order as each finished
+    // prefix lands — identical bytes for any --jobs.
+    let reports = run_jobs_with(selected, opts.jobs, |report| {
+        print!("{}", report.text);
+        let _ = std::io::stdout().flush();
+    });
+    let wall = start.elapsed();
 
-fn run_full() {
-    hint_bench::fig_2_2::run();
-    hint_bench::fig_3_1::run();
-    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::MixedMobility, 10);
-    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Mobile, 10);
-    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Static, 10);
-    hint_bench::fig_3_x::run(hint_bench::fig_3_x::Fig3::Vehicular, 10);
-    hint_bench::fig_4_1::run();
-    hint_bench::fig_4_2_4_3::run(20);
-    hint_bench::fig_4_4_4_5::run();
-    hint_bench::fig_4_6::run();
-    hint_bench::etx_overhead::run();
-    hint_bench::table_5_1::run(15, 100);
-    hint_bench::route_stability::run(5);
-    hint_bench::fig_5_1::run();
-    hint_bench::ablations::rapidsample_delta_success();
-    hint_bench::ablations::hint_latency();
-    hint_bench::ablations::prober_hold_down();
-    hint_bench::extensions::phy_cyclic_prefix();
-    hint_bench::extensions::phy_frame_cap();
-    hint_bench::extensions::power_saving();
-    hint_bench::extensions::microphone_dynamism();
-    println!("\nAll experiments complete. Paper-vs-measured: see EXPERIMENTS.md");
+    match (&opts.filter, opts.smoke) {
+        (Some(f), _) => {
+            println!("\n{n_selected} of {total} experiments complete (filter: `{f}`).")
+        }
+        (None, true) => println!("\nSmoke battery complete."),
+        (None, false) => {
+            println!("\nAll experiments complete. Paper-vs-measured: see EXPERIMENTS.md")
+        }
+    }
+
+    // Stderr: scheduling diagnostics (kept off stdout so parallel output
+    // stays byte-identical to serial).
+    for report in &reports {
+        eprintln!(
+            "[run_all] {:<28} {:>8.2}s",
+            report.name,
+            report.wall.as_secs_f64()
+        );
+    }
+    let busy: f64 = reports.iter().map(|r| r.wall.as_secs_f64()).sum();
+    eprintln!(
+        "[run_all] {n_selected} experiments on {} worker(s): {:.2}s wall, {:.2}s of work (speedup {:.2}x)",
+        opts.jobs,
+        wall.as_secs_f64(),
+        busy,
+        busy / wall.as_secs_f64().max(1e-9)
+    );
 }

@@ -6,7 +6,8 @@
 //! `1/p2 − 1/p1`; the overhead formula the paper states, `p1/p2 − 1`,
 //! evaluates to 33% — both are reported.)
 
-use crate::util::{header, table};
+use crate::report::Report;
+use crate::rline;
 use hint_topology::etx::{expected_overhead_monte_carlo, wrong_link_analysis};
 
 /// Numbers for the paper's worked example plus a δ sweep.
@@ -22,15 +23,26 @@ pub struct EtxResult {
 
 /// Run the analysis.
 pub fn run() -> EtxResult {
-    header("Sec. 4.2: ETX wrong-link overhead under estimate error");
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run the analysis, returning its output as a [`Report`] plus the
+/// numbers (the job-runner entry point).
+pub fn report() -> (Report, EtxResult) {
+    let mut r = Report::new("etx_overhead");
+    r.header("Sec. 4.2: ETX wrong-link overhead under estimate error");
     let (p1, p2) = (0.8, 0.6);
     let a = wrong_link_analysis(p1, p2, 0.25);
-    println!("links: p1 = {p1}, p2 = {p2}, delta = 0.25");
-    println!(
+    rline!(r, "links: p1 = {p1}, p2 = {p2}, delta = 0.25");
+    rline!(
+        r,
         "penalty  1/p2 - 1/p1 = {:.4}  (the paper's quoted '5/12 = 42%')",
         a.penalty
     );
-    println!(
+    rline!(
+        r,
         "overhead p1/p2 - 1   = {:.4}  (the paper's stated formula)",
         a.overhead
     );
@@ -50,17 +62,18 @@ pub fn run() -> EtxResult {
             ]
         })
         .collect();
-    println!();
-    table(
+    r.blank();
+    r.table(
         &["delta", "wrong pick possible", "expected overhead (MC)"],
         &rows,
     );
 
-    EtxResult {
+    let res = EtxResult {
         example_penalty: a.penalty,
         example_overhead: a.overhead,
         sweep,
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! experiments put numbers on each sketch using the same substrates as
 //! the main results, and are labelled extensions in EXPERIMENTS.md.
 
-use crate::util::{header, table};
+use crate::report::Report;
+use crate::rline;
 use hint_mac::phy_adapt::{
     max_frame_for_coherence, net_throughput_factor, prefix_for_gps_lock, CyclicPrefix,
     DelaySpreadEnv,
@@ -19,7 +20,15 @@ use sensor_hints::power::{PowerManager, PowerPolicy};
 /// Sec. 5.3 (a): cyclic-prefix choice by GPS-lock hint.
 /// Returns `(env, std_factor, ext_factor, hint_picks_winner)` rows.
 pub fn phy_cyclic_prefix() -> Vec<(String, f64, f64, bool)> {
-    header("Extension (Sec. 5.3): cyclic prefix vs environment, 54 Mbit/s @ 26 dB");
+    let (r, rows) = phy_cyclic_prefix_report();
+    r.print();
+    rows
+}
+
+/// [`phy_cyclic_prefix`] as a buffered job (runner entry point).
+pub fn phy_cyclic_prefix_report() -> (Report, Vec<(String, f64, f64, bool)>) {
+    let mut r = Report::new("ext_phy_cyclic_prefix");
+    r.header("Extension (Sec. 5.3): cyclic prefix vs environment, 54 Mbit/s @ 26 dB");
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for (env, has_gps) in [
@@ -44,7 +53,7 @@ pub fn phy_cyclic_prefix() -> Vec<(String, f64, f64, bool)> {
         ]);
         out.push((format!("{env:?}"), std, ext, correct));
     }
-    table(
+    r.table(
         &[
             "environment",
             "standard CP",
@@ -53,13 +62,21 @@ pub fn phy_cyclic_prefix() -> Vec<(String, f64, f64, bool)> {
         ],
         &rows,
     );
-    out
+    (r, out)
 }
 
 /// Sec. 5.3 (b): frame-size cap by speed hint.
 /// Returns `(speed_mps, frame_cap_at_6mbps)` rows.
 pub fn phy_frame_cap() -> Vec<(f64, u32)> {
-    header("Extension (Sec. 5.3): frame cap vs speed (6 Mbit/s, half-coherence budget)");
+    let (r, rows) = phy_frame_cap_report();
+    r.print();
+    rows
+}
+
+/// [`phy_frame_cap`] as a buffered job (runner entry point).
+pub fn phy_frame_cap_report() -> (Report, Vec<(f64, u32)>) {
+    let mut r = Report::new("ext_phy_frame_cap");
+    r.header("Extension (Sec. 5.3): frame cap vs speed (6 Mbit/s, half-coherence budget)");
     let timing = MacTiming::ieee80211a();
     let mut out = Vec::new();
     let mut rows = Vec::new();
@@ -80,18 +97,26 @@ pub fn phy_frame_cap() -> Vec<(f64, u32)> {
         ]);
         out.push((speed, cap));
     }
-    table(
+    r.table(
         &["speed (m/s)", "coherence (ms)", "max frame (bytes)"],
         &rows,
     );
-    out
+    (r, out)
 }
 
 /// Sec. 5.4: energy of hint-aware vs periodic scanning while a device
 /// waits, parked and unassociated, then walks for a while.
 /// Returns `(policy, energy_mj, scans)` rows.
 pub fn power_saving() -> Vec<(String, f64, u64)> {
-    header("Extension (Sec. 5.4): radio energy while unassociated (10 min, 80% parked)");
+    let (r, rows) = power_saving_report();
+    r.print();
+    rows
+}
+
+/// [`power_saving`] as a buffered job (runner entry point).
+pub fn power_saving_report() -> (Report, Vec<(String, f64, u64)>) {
+    let mut r = Report::new("ext_power_saving");
+    r.header("Extension (Sec. 5.4): radio energy while unassociated (10 min, 80% parked)");
     let tick = SimDuration::from_millis(100);
     let total_s = 600u64;
     // Parked 0..480 s, walking 480..600 s.
@@ -129,18 +154,27 @@ pub fn power_saving() -> Vec<(String, f64, u64)> {
         ]);
         out.push((name.to_string(), pm.energy_mj(), pm.scans()));
     }
-    table(&["policy", "energy (mJ)", "scans"], &rows);
-    println!(
+    r.table(&["policy", "energy (mJ)", "scans"], &rows);
+    rline!(
+        r,
         "saving: {:.1}x less radio energy from the movement hint",
         out[0].1 / out[1].1.max(1.0)
     );
-    out
+    (r, out)
 }
 
 /// Sec. 5.6: the microphone dynamism hint distinguishes quiet from busy
 /// surroundings. Returns `(env, dynamism fraction)` rows.
 pub fn microphone_dynamism() -> Vec<(String, f64)> {
-    header("Extension (Sec. 5.6): microphone dynamism hint (600 s per environment)");
+    let (r, rows) = microphone_dynamism_report();
+    r.print();
+    rows
+}
+
+/// [`microphone_dynamism`] as a buffered job (runner entry point).
+pub fn microphone_dynamism_report() -> (Report, Vec<(String, f64)>) {
+    let mut r = Report::new("ext_microphone_dynamism");
+    r.header("Extension (Sec. 5.6): microphone dynamism hint (600 s per environment)");
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for (name, profile) in [
@@ -161,12 +195,13 @@ pub fn microphone_dynamism() -> Vec<(String, f64)> {
         rows.push(vec![name.to_string(), format!("{frac:.2}")]);
         out.push((name.to_string(), frac));
     }
-    table(&["environment", "fraction of time 'dynamic'"], &rows);
-    println!(
+    r.table(&["environment", "fraction of time 'dynamic'"], &rows);
+    rline!(
+        r,
         "(a static node in the busy environment would run RapidSample on this \
          hint, as the paper observed helps there)"
     );
-    out
+    (r, out)
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! interval of movement" — never exceeding the threshold of 3 while
 //! stationary, exceeding it frequently and by a large margin while moving.
 
-use crate::util::header;
+use crate::report::Report;
+use crate::rline;
 use hint_sensors::accelerometer::Accelerometer;
 use hint_sensors::jerk::{MovementDetector, JERK_THRESHOLD};
 use hint_sensors::motion::MotionProfile;
@@ -27,7 +28,16 @@ pub struct Fig22Result {
 
 /// Run the experiment; prints the figure and returns the statistics.
 pub fn run() -> Fig22Result {
-    header("Fig. 2-2: jerk over time (static -> moving -> static)");
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run the experiment, returning its output as a [`Report`] plus the
+/// statistics (the job-runner entry point).
+pub fn report() -> (Report, Fig22Result) {
+    let mut r = Report::new("fig_2_2");
+    r.header("Fig. 2-2: jerk over time (static -> moving -> static)");
     let lead = SimDuration::from_secs(60);
     let moving = SimDuration::from_secs(80);
     let tail = SimDuration::from_secs(60);
@@ -73,32 +83,41 @@ pub fn run() -> Fig22Result {
         .step_by(100)
         .map(|s| (s.t.as_secs_f64(), s.jerk.min(40.0)))
         .collect();
-    println!("{}", ascii_plot(&pts, 100, "jerk(t)"));
+    rline!(r, "{}", ascii_plot(&pts, 100, "jerk(t)"));
     let hint_pts: Vec<(f64, f64)> = samples
         .iter()
         .step_by(100)
         .map(|s| (s.t.as_secs_f64(), if s.moving { 1.0 } else { 0.0 }))
         .collect();
-    println!("{}", ascii_plot(&hint_pts, 100, "hint(t)"));
+    rline!(r, "{}", ascii_plot(&hint_pts, 100, "hint(t)"));
 
-    println!();
-    println!(
+    r.blank();
+    rline!(
+        r,
         "movement interval: {lead} .. {}",
         SimTime::ZERO + lead + moving
     );
-    println!("max jerk while stationary: {max_static:.3}  (threshold {JERK_THRESHOLD})");
-    println!(
+    rline!(
+        r,
+        "max jerk while stationary: {max_static:.3}  (threshold {JERK_THRESHOLD})"
+    );
+    rline!(
+        r,
         "moving-phase reports with jerk > {JERK_THRESHOLD}: {:.1}%",
         100.0 * exceed as f64 / total_moving as f64
     );
-    println!("detection latency: rise {rise} ms, fall {fall} ms (paper: <100 ms rise)");
+    rline!(
+        r,
+        "detection latency: rise {rise} ms, fall {fall} ms (paper: <100 ms rise)"
+    );
 
-    Fig22Result {
+    let res = Fig22Result {
         max_jerk_static: max_static,
         moving_exceed_frac: exceed as f64 / total_moving as f64,
         rise_latency_ms: rise,
         fall_latency_ms: fall,
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! approximately k = 50 packets" — the paper's estimate of an 8–10 ms
 //! mobile coherence time at ~5000 back-to-back packets/s.
 
-use crate::util::{header, table};
+use crate::report::Report;
+use crate::rline;
 use hint_channel::analysis::{back_to_back_fates, coherence_lag, conditional_loss_curve};
 use hint_channel::Environment;
 use hint_mac::{BitRate, MacTiming};
@@ -29,17 +30,26 @@ pub struct Fig31Result {
 
 /// Run the experiment; prints the figure's rows and returns the curves.
 pub fn run() -> Fig31Result {
-    header("Fig. 3-1: conditional loss probability vs lag k (54 Mbit/s)");
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run the experiment, returning its output as a [`Report`] plus the
+/// curves (the job-runner entry point).
+pub fn report() -> (Report, Fig31Result) {
+    let mut r = Report::new("fig_3_1");
+    r.header("Fig. 3-1: conditional loss probability vs lag k (54 Mbit/s)");
     let env = Environment::office();
     let dur = SimDuration::from_secs(120);
     let static_fates =
-        back_to_back_fates(&env, &MotionProfile::stationary(dur), BitRate::R54, dur, 31);
+        back_to_back_fates(&env, &MotionProfile::stationary(dur), BitRate::R54, dur, 33);
     let mobile_fates = back_to_back_fates(
         &env,
         &MotionProfile::walking(dur, 1.4, 0.0),
         BitRate::R54,
         dur,
-        31,
+        33,
     );
 
     let lags: Vec<usize> = vec![1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 75, 100, 150, 200, 300];
@@ -64,13 +74,15 @@ pub fn run() -> Fig31Result {
             vec![k.to_string(), s, m]
         })
         .collect();
-    table(
+    r.table(
         &["lag k", "P(loss|loss) static", "P(loss|loss) mobile"],
         &rows,
     );
-    println!(
+    rline!(
+        r,
         "unconditional loss:   static {:.3}   mobile {:.3}",
-        sc.unconditional, mc.unconditional
+        sc.unconditional,
+        mc.unconditional
     );
 
     // Coherence estimate: the lag at which the conditional-loss *excess*
@@ -90,17 +102,19 @@ pub fn run() -> Fig31Result {
     let mobile_coherence = coherence_lag(&dense, (lag1_excess * 0.25).max(0.02))
         .map(|k| (k, k as f64 * pkt_time * 1e3));
     if let Some((k, ms)) = mobile_coherence {
-        println!(
+        rline!(
+            r,
             "mobile curve re-joins baseline at k = {k} packets ≈ {ms:.1} ms (paper: ~8-10 ms)"
         );
     }
 
-    Fig31Result {
+    let res = Fig31Result {
         static_curve: sc.points,
         mobile_curve: mc.points,
         unconditional: (sc.unconditional, mc.unconditional),
         mobile_coherence,
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 //! fluctuate from second to second, with many of the jumps in the delivery
 //! ratio exceeding 20%."
 
-use crate::util::{header, series};
+use crate::report::Report;
+use crate::rline;
 use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
 use hint_sensors::MotionProfile;
@@ -27,7 +28,16 @@ pub struct Fig41Result {
 
 /// Run the experiment over a 140 s static/mobile/static trace.
 pub fn run() -> Fig41Result {
-    header("Fig. 4-1: 6 Mbit/s delivery rate over time and movement");
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run the experiment, returning its output as a [`Report`] plus the
+/// statistics (the job-runner entry point).
+pub fn report() -> (Report, Fig41Result) {
+    let mut r = Report::new("fig_4_1");
+    r.header("Fig. 4-1: 6 Mbit/s delivery rate over time and movement");
     let profile = MotionProfile::static_move_static(
         SimDuration::from_secs(40),
         SimDuration::from_secs(60),
@@ -65,21 +75,28 @@ pub fn run() -> Fig41Result {
         .step_by(4)
         .map(|(i, &p)| (i as f64, p))
         .collect();
-    series(
+    r.series(
         "delivery ratio (every 4th second; hint up 40s-100s)",
         &pts,
         1.0,
         40,
     );
-    println!("max second-to-second jump while moving: {max_moving_jump:.2} (paper: >0.20)");
-    println!("max second-to-second jump while static: {max_static_jump:.2}");
+    rline!(
+        r,
+        "max second-to-second jump while moving: {max_moving_jump:.2} (paper: >0.20)"
+    );
+    rline!(
+        r,
+        "max second-to-second jump while static: {max_static_jump:.2}"
+    );
 
-    Fig41Result {
+    let res = Fig41Result {
         per_second,
         moving,
         max_moving_jump,
         max_static_jump,
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! order to maintain link quality information to within 5%-10% of the
 //! correct value."
 
-use crate::util::{header, table};
+use crate::report::Report;
+use crate::rline;
 use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
 use hint_sensors::MotionProfile;
@@ -41,7 +42,16 @@ impl Fig4243Result {
 
 /// Run with `n_traces` 180 s traces per regime (the paper used 20).
 pub fn run(n_traces: u64) -> Fig4243Result {
-    header("Figs. 4-2 / 4-3: estimate error vs probing rate (static / mobile)");
+    let (r, res) = report(n_traces);
+    r.print();
+    res
+}
+
+/// Run the experiment, returning its output as a [`Report`] plus the
+/// curves (the job-runner entry point).
+pub fn report(n_traces: u64) -> (Report, Fig4243Result) {
+    let mut r = Report::new("fig_4_2_4_3");
+    r.header("Figs. 4-2 / 4-3: estimate error vs probing rate (static / mobile)");
     let rates = vec![0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
     let dur = SimDuration::from_secs(180);
     let env = Environment::mesh_edge();
@@ -82,7 +92,7 @@ pub fn run(n_traces: u64) -> Fig4243Result {
             ]
         })
         .collect();
-    table(
+    r.table(
         &["probes/s", "static error", "mobile error", "mobile/static"],
         &rows,
     );
@@ -96,18 +106,20 @@ pub fn run(n_traces: u64) -> Fig4243Result {
     for target in [0.10, 0.08] {
         let (s, m) = result.rate_for_error(target);
         match (s, m) {
-            (Some(s), Some(m)) => println!(
+            (Some(s), Some(m)) => rline!(
+                r,
                 "error <= {target:.2}: static needs {s} probes/s, mobile needs {m} probes/s ({}x)",
                 m / s
             ),
-            (Some(s), None) => println!(
+            (Some(s), None) => rline!(
+                r,
                 "error <= {target:.2}: static needs {s} probes/s, mobile cannot reach it below 10/s (>{:.0}x)",
                 10.0 / s
             ),
-            _ => println!("error <= {target:.2}: not reachable in the measured range"),
+            _ => rline!(r, "error <= {target:.2}: not reachable in the measured range"),
         }
     }
-    result
+    (r, result)
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! second ... the difference from the actual delivery probability is
 //! substantial, erring in both directions."
 
-use crate::util::{header, series};
+use crate::report::Report;
+use crate::rline;
 use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
 use hint_sensors::MotionProfile;
@@ -27,7 +28,16 @@ pub struct TraceTracking {
 /// Run both figures (25 s representative traces) and return the tracking
 /// errors (static, mobile).
 pub fn run() -> (TraceTracking, TraceTracking) {
-    header("Figs. 4-4 / 4-5: delivery probability by probing rate over time");
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run both figures, returning the output as a [`Report`] plus the
+/// tracking errors (static, mobile) — the job-runner entry point.
+pub fn report() -> (Report, (TraceTracking, TraceTracking)) {
+    let mut r = Report::new("fig_4_4_4_5");
+    r.header("Figs. 4-4 / 4-5: delivery probability by probing rate over time");
     let rates = vec![1.0, 5.0, 10.0];
     let env = Environment::mesh_edge();
     let dur = SimDuration::from_secs(25);
@@ -39,7 +49,7 @@ pub fn run() -> (TraceTracking, TraceTracking) {
         } else {
             "stationary (Fig. 4-4)"
         };
-        println!("\n--- {label} ---");
+        rline!(r, "\n--- {label} ---");
         let profile = if moving {
             MotionProfile::walking(dur, 1.4, 0.0)
         } else {
@@ -58,7 +68,7 @@ pub fn run() -> (TraceTracking, TraceTracking) {
                 (s as f64, actual_at(&actual, t))
             })
             .collect();
-        series("actual", &actual_pts, 1.0, 40);
+        r.series("actual", &actual_pts, 1.0, 40);
 
         let mut held = Vec::new();
         for &rate in &rates {
@@ -77,7 +87,7 @@ pub fn run() -> (TraceTracking, TraceTracking) {
                     (s as f64, v)
                 })
                 .collect();
-            series(
+            r.series(
                 &format!("{rate} probes/s (held err {:.3})", err.mean()),
                 &obs_pts,
                 1.0,
@@ -91,7 +101,7 @@ pub fn run() -> (TraceTracking, TraceTracking) {
     }
     let mobile = out.pop().expect("two entries");
     let stat = out.pop().expect("two entries");
-    (stat, mobile)
+    (r, (stat, mobile))
 }
 
 #[cfg(test)]

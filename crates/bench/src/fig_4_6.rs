@@ -5,7 +5,8 @@
 //! the actual delivery probability throughout the experiment, while the
 //! non-adaptive 1 probe per second strategy lags by multiple seconds."
 
-use crate::util::{header, series};
+use crate::report::Report;
+use crate::rline;
 use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
 use hint_rateadapt::HintStream;
@@ -35,7 +36,16 @@ pub struct Fig46Result {
 /// dominated by whether the mobile phase happened to cross a delivery
 /// cliff).
 pub fn run() -> Fig46Result {
-    header("Fig. 4-6: delivery probability by probing strategy (combined trace)");
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run the experiment, returning its output as a [`Report`] plus the
+/// statistics (the job-runner entry point).
+pub fn report() -> (Report, Fig46Result) {
+    let mut r = Report::new("fig_4_6");
+    r.header("Fig. 4-6: delivery probability by probing strategy (combined trace)");
     let dur = SimDuration::from_secs(60);
     // Static 0-20 s, mobile 20-40 s, static 40-60 s.
     let profile = MotionProfile::static_move_static(
@@ -84,32 +94,34 @@ pub fn run() -> Fig46Result {
             .map(|s| (s as f64, hold(samples, SimTime::from_secs(s))))
             .collect()
     };
-    series("actual   (movement 20s-40s)", &per_sec(&actual), 1.0, 40);
-    series(
+    r.series("actual   (movement 20s-40s)", &per_sec(&actual), 1.0, 40);
+    r.series(
         &format!("adaptive (err {adaptive_err:.3})"),
         &per_sec(&run.estimates),
         1.0,
         40,
     );
-    series(
+    r.series(
         &format!("1 probe/s (err {fixed_err:.3})"),
         &per_sec(&fixed),
         1.0,
         40,
     );
-    println!(
+    rline!(
+        r,
         "probes sent: adaptive {}, always-fast equivalent {} (saving {:.1}x)",
         run.probes_sent,
         run.fast_equivalent,
         run.bandwidth_saving_factor()
     );
 
-    Fig46Result {
+    let res = Fig46Result {
         adaptive_err,
         fixed_err,
         adaptive_probes: run.probes_sent,
         fast_equivalent: run.fast_equivalent,
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! and remains low for about 10 seconds, before recovering to use the
 //! entire bandwidth!" The hint-aware pruning policy avoids the collapse.
 
-use crate::util::{header, series, table};
+use crate::report::Report;
+use crate::rline;
 use hint_ap::disassociation::{fig_5_1_scenario, DisassociationPolicy, FairnessModel};
 use hint_sim::SimDuration;
 
@@ -27,7 +28,16 @@ pub struct Fig51Result {
 
 /// Run the scenario under all three policies.
 pub fn run() -> Fig51Result {
-    header("Fig. 5-1: two-client AP, client 2 departs at 35 s");
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run the scenario, returning its output as a [`Report`] plus the
+/// statistics (the job-runner entry point).
+pub fn report() -> (Report, Fig51Result) {
+    let mut r = Report::new("fig_5_1");
+    r.header("Fig. 5-1: two-client AP, client 2 departs at 35 s");
     let timeout = DisassociationPolicy::Timeout {
         prune_after: SimDuration::from_secs(10),
     };
@@ -54,8 +64,8 @@ pub fn run() -> Fig51Result {
         .step_by(2)
         .map(|(i, &v)| (i as f64, v))
         .collect();
-    series("client 1 (static) goodput, Mbit/s", &c0, 30.0, 40);
-    series("client 2 (departs ~35 s) goodput, Mbit/s", &c1, 30.0, 40);
+    r.series("client 1 (static) goodput, Mbit/s", &c0, 30.0, 40);
+    r.series("client 2 (departs ~35 s) goodput, Mbit/s", &c1, 30.0, 40);
 
     let before = frame.mean_goodput_mbps(0, 5, 30);
     let during = frame.mean_goodput_mbps(0, 36, 44);
@@ -63,8 +73,8 @@ pub fn run() -> Fig51Result {
     let time_during = time.mean_goodput_mbps(0, 36, 44);
     let hint_during = hint_run.mean_goodput_mbps(0, 36, 44);
 
-    println!();
-    table(
+    r.blank();
+    r.table(
         &[
             "policy",
             "before (5-30s)",
@@ -92,15 +102,16 @@ pub fn run() -> Fig51Result {
             ],
         ],
     );
-    println!("(static client's goodput in Mbit/s; paper: collapse to near zero for ~10 s, then full recovery)");
+    rline!(r, "(static client's goodput in Mbit/s; paper: collapse to near zero for ~10 s, then full recovery)");
 
-    Fig51Result {
+    let res = Fig51Result {
         before_mbps: before,
         during_mbps: during,
         after_mbps: after,
         time_based_during_mbps: time_during,
         hint_aware_during_mbps: hint_during,
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

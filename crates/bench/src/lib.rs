@@ -1,11 +1,13 @@
 //! # hint-bench — the experiment harness
 //!
 //! One module per table/figure of the paper's evaluation, each exposing a
-//! `run()` that regenerates the result and prints the same rows/series the
-//! paper reports (see DESIGN.md §4 for the experiment index and
-//! EXPERIMENTS.md for paper-vs-measured values). The `src/bin/` wrappers
-//! make each experiment a standalone binary; `run_all` executes the whole
-//! battery.
+//! `report()` that regenerates the result and returns the same rows/series
+//! the paper reports as a buffered [`report::Report`], plus a `run()` that
+//! prints it (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+//! for paper-vs-measured values). The `src/bin/` wrappers make each
+//! experiment a standalone binary; `run_all` executes the whole battery
+//! through the [`runner`] job engine (`--jobs N --filter <substr>`),
+//! whose parallel output is byte-identical to a serial run.
 //!
 //! Shape, not absolute numbers: the substrate is a synthetic channel, not
 //! the authors' testbed, so each experiment checks *who wins, by roughly
@@ -25,6 +27,8 @@ pub mod fig_4_2_4_3;
 pub mod fig_4_4_4_5;
 pub mod fig_4_6;
 pub mod fig_5_1;
+pub mod report;
 pub mod route_stability;
+pub mod runner;
 pub mod table_5_1;
 pub mod util;

@@ -7,7 +7,8 @@
 //! lifetimes when routes are chosen by max-min CTE versus min-hop BFS on a
 //! dense urban fleet.
 
-use crate::util::{header, table};
+use crate::report::Report;
+use crate::rline;
 use hint_sim::mean;
 use hint_vehicular::routing::route_stability_experiment;
 
@@ -26,7 +27,16 @@ pub struct RouteStabilityResult {
 
 /// Run over `n_networks` dense fleets.
 pub fn run(n_networks: u64) -> RouteStabilityResult {
-    header("Route stability (extension): CTE vs hint-free route lifetimes");
+    let (r, res) = report(n_networks);
+    r.print();
+    res
+}
+
+/// Run the experiment, returning its output as a [`Report`] plus the
+/// numbers (the job-runner entry point).
+pub fn report(n_networks: u64) -> (Report, RouteStabilityResult) {
+    let mut r = Report::new("route_stability");
+    r.header("Route stability (extension): CTE vs hint-free route lifetimes");
     let mut cte_all = Vec::new();
     let mut hf_all = Vec::new();
     for i in 0..n_networks {
@@ -42,7 +52,7 @@ pub fn run(n_networks: u64) -> RouteStabilityResult {
         0.0
     };
 
-    table(
+    r.table(
         &["strategy", "routes", "mean lifetime (s)"],
         &[
             vec![
@@ -57,15 +67,19 @@ pub fn run(n_networks: u64) -> RouteStabilityResult {
             ],
         ],
     );
-    println!("stability factor (means): {factor:.2}x");
-    println!("(link-level 4-5x factor: see Table 5.1's aligned-to-all ratio)");
+    rline!(r, "stability factor (means): {factor:.2}x");
+    rline!(
+        r,
+        "(link-level 4-5x factor: see Table 5.1's aligned-to-all ratio)"
+    );
 
-    RouteStabilityResult {
+    let res = RouteStabilityResult {
         cte_mean_s: cte_mean,
         hint_free_mean_s: hf_mean,
         factor,
         n_routes: cte_all.len(),
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

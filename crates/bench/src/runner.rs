@@ -1,0 +1,272 @@
+//! The parallel experiment engine.
+//!
+//! Every table/figure module exposes a `report()` that runs the experiment
+//! and returns its output as a [`Report`]; this module packages those into
+//! named [`Job`]s, executes them on a scoped thread pool (`--jobs N`), and
+//! returns the results **in battery order**. Each job seeds its own RNG
+//! streams internally, so experiments are independent of scheduling and
+//! the concatenated parallel output is byte-identical to a serial run —
+//! asserted by `tests/parallel_determinism.rs`.
+//!
+//! No external dependencies: the pool is `std::thread::scope` workers
+//! pulling job indices from one atomic counter.
+
+use crate::report::Report;
+use crate::{ablations, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1};
+use crate::{fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, route_stability, table_5_1};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One experiment's finished output plus its wall-clock cost.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Battery job name (`--filter` matches on this).
+    pub name: String,
+    /// The experiment's complete stdout text.
+    pub text: String,
+    /// Wall-clock time the job took on its worker.
+    pub wall: Duration,
+}
+
+/// A named, runnable experiment.
+pub struct Job {
+    name: &'static str,
+    run: Box<dyn FnOnce() -> Report + Send>,
+}
+
+impl Job {
+    /// Package a report-producing closure as a battery job.
+    pub fn new(name: &'static str, run: impl FnOnce() -> Report + Send + 'static) -> Job {
+        Job {
+            name,
+            run: Box::new(run),
+        }
+    }
+
+    /// The job's battery name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The full experiment battery: every table and figure of the paper's
+/// evaluation, plus the ablations and extensions. One job per experiment,
+/// in the presentation order of `EXPERIMENTS.md`.
+pub fn full_battery() -> Vec<Job> {
+    vec![
+        Job::new("fig_2_2", || fig_2_2::report().0),
+        Job::new("fig_3_1", || fig_3_1::report().0),
+        Job::new("fig_3_5", || {
+            fig_3_x::report(fig_3_x::Fig3::MixedMobility, 10).0
+        }),
+        Job::new("fig_3_6", || fig_3_x::report(fig_3_x::Fig3::Mobile, 10).0),
+        Job::new("fig_3_7", || fig_3_x::report(fig_3_x::Fig3::Static, 10).0),
+        Job::new("fig_3_8", || {
+            fig_3_x::report(fig_3_x::Fig3::Vehicular, 10).0
+        }),
+        Job::new("fig_4_1", || fig_4_1::report().0),
+        Job::new("fig_4_2_4_3", || fig_4_2_4_3::report(20).0),
+        Job::new("fig_4_4_4_5", || fig_4_4_4_5::report().0),
+        Job::new("fig_4_6", || fig_4_6::report().0),
+        Job::new("etx_overhead", || etx_overhead::report().0),
+        Job::new("table_5_1", || table_5_1::report(15, 100).0),
+        Job::new("route_stability", || route_stability::report(5).0),
+        Job::new("fig_5_1", || fig_5_1::report().0),
+        Job::new("ablation_delta_success", || {
+            ablations::rapidsample_delta_success_report().0
+        }),
+        Job::new("ablation_hint_latency", || {
+            ablations::hint_latency_report().0
+        }),
+        Job::new("ablation_prober_hold_down", || {
+            ablations::prober_hold_down_report().0
+        }),
+        Job::new("ext_phy_cyclic_prefix", || {
+            extensions::phy_cyclic_prefix_report().0
+        }),
+        Job::new("ext_phy_frame_cap", || extensions::phy_frame_cap_report().0),
+        Job::new("ext_power_saving", || extensions::power_saving_report().0),
+        Job::new("ext_microphone_dynamism", || {
+            extensions::microphone_dynamism_report().0
+        }),
+    ]
+}
+
+/// The CI-sized smoke battery: one cheap experiment per subsystem —
+/// sensors (Fig. 2-2), rate adaptation (one trace of one Fig. 3 scenario),
+/// topology (one probing trace), the ETX analysis, vehicular (one small
+/// network), route stability, and the AP scenario (Fig. 5-1 is already a
+/// single run).
+pub fn smoke_battery() -> Vec<Job> {
+    vec![
+        Job::new("fig_2_2", || fig_2_2::report().0),
+        Job::new("fig_3_5", || {
+            fig_3_x::report(fig_3_x::Fig3::MixedMobility, 1).0
+        }),
+        Job::new("fig_4_2_4_3", || fig_4_2_4_3::report(1).0),
+        Job::new("etx_overhead", || etx_overhead::report().0),
+        Job::new("table_5_1", || table_5_1::report(1, 30).0),
+        Job::new("route_stability", || route_stability::report(1).0),
+        Job::new("fig_5_1", || fig_5_1::report().0),
+    ]
+}
+
+/// Keep only the jobs whose name contains `filter`.
+pub fn filter_jobs(jobs: Vec<Job>, filter: &str) -> Vec<Job> {
+    jobs.into_iter()
+        .filter(|j| j.name.contains(filter))
+        .collect()
+}
+
+/// Run `jobs` on up to `n_jobs` worker threads, invoking `on_report` for
+/// each finished report **in battery order** as soon as its whole prefix
+/// has completed (so a serial run streams each experiment the moment it
+/// lands, and a parallel run streams the longest finished prefix), then
+/// return all reports in battery order.
+///
+/// # Panics
+/// Panics if `n_jobs` is zero (the CLI rejects it earlier with a usage
+/// message) or if a job panics on its worker.
+pub fn run_jobs_with(
+    jobs: Vec<Job>,
+    n_jobs: usize,
+    mut on_report: impl FnMut(&ExperimentReport),
+) -> Vec<ExperimentReport> {
+    assert!(n_jobs >= 1, "n_jobs must be >= 1");
+    let n = jobs.len();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Job>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let (tx, rx) = mpsc::channel::<(usize, ExperimentReport)>();
+
+    let mut results: Vec<Option<ExperimentReport>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..n_jobs.min(n.max(1)) {
+            let tx = tx.clone();
+            let (next, slots) = (&next, &slots);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot lock")
+                    .take()
+                    .expect("job taken once");
+                let start = Instant::now();
+                let report = (job.run)();
+                let sent = tx.send((
+                    i,
+                    ExperimentReport {
+                        name: job.name.to_string(),
+                        text: report.into_text(),
+                        wall: start.elapsed(),
+                    },
+                ));
+                sent.expect("collector outlives workers");
+            });
+        }
+        drop(tx);
+
+        // Collector (this thread): stream the completed prefix in battery
+        // order while later jobs are still running.
+        let mut flushed = 0usize;
+        for (i, report) in rx {
+            results[i] = Some(report);
+            while let Some(Some(ready)) = results.get(flushed) {
+                on_report(ready);
+                flushed += 1;
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran to completion"))
+        .collect()
+}
+
+/// [`run_jobs_with`] without a streaming sink.
+pub fn run_jobs(jobs: Vec<Job>, n_jobs: usize) -> Vec<ExperimentReport> {
+    run_jobs_with(jobs, n_jobs, |_| {})
+}
+
+/// Convenience for tests: run a battery and concatenate the ordered output.
+pub fn battery_output(jobs: Vec<Job>, n_jobs: usize) -> String {
+    run_jobs(jobs, n_jobs).into_iter().map(|r| r.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_job(name: &'static str, payload: u64) -> Job {
+        Job::new(name, move || {
+            let mut r = Report::new(name);
+            // Deterministic per-job RNG stream, as real experiments use.
+            let mut rng = hint_sim::RngStream::new(payload);
+            crate::rline!(r, "{name}: {}", rng.uniform());
+            r
+        })
+    }
+
+    #[test]
+    fn parallel_order_matches_serial() {
+        let make = || vec![tiny_job("a", 1), tiny_job("b", 2), tiny_job("c", 3)];
+        let serial = battery_output(make(), 1);
+        for n in [2, 3, 8] {
+            assert_eq!(battery_output(make(), n), serial, "jobs={n}");
+        }
+        assert!(serial.starts_with("a: "));
+    }
+
+    #[test]
+    fn streaming_sink_sees_battery_order() {
+        for n_jobs in [1, 4] {
+            let mut seen = Vec::new();
+            let reports = run_jobs_with(
+                vec![tiny_job("a", 1), tiny_job("b", 2), tiny_job("c", 3)],
+                n_jobs,
+                |r| seen.push(r.name.clone()),
+            );
+            assert_eq!(seen, ["a", "b", "c"], "n_jobs={n_jobs}");
+            assert_eq!(reports.len(), 3);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_jobs(vec![tiny_job("only", 7)], 16);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "only");
+    }
+
+    #[test]
+    fn empty_battery_returns_empty() {
+        assert!(run_jobs(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let jobs = filter_jobs(full_battery(), "fig_3");
+        let names: Vec<&str> = jobs.iter().map(|j| j.name()).collect();
+        assert_eq!(
+            names,
+            ["fig_3_1", "fig_3_5", "fig_3_6", "fig_3_7", "fig_3_8"]
+        );
+        assert!(filter_jobs(full_battery(), "nope").is_empty());
+    }
+
+    #[test]
+    fn batteries_have_expected_sizes() {
+        assert_eq!(full_battery().len(), 21);
+        assert_eq!(smoke_battery().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_jobs")]
+    fn zero_workers_rejected() {
+        let _ = run_jobs(Vec::new(), 0);
+    }
+}

@@ -7,7 +7,8 @@
 //! are 30 degrees apart." Paper row: [0,10): 66, [10,20): 32, [20,30): 15,
 //! [30,180]: 9, all links: 16.
 
-use crate::util::{header, table};
+use crate::report::Report;
+use crate::rline;
 use hint_sim::RngStream;
 use hint_vehicular::links::{collect_links, table_5_1};
 use hint_vehicular::mobility::Fleet;
@@ -28,7 +29,16 @@ pub struct Table51Result {
 
 /// Run with `n_networks` networks of `n_vehicles` each (paper: 15 × 100).
 pub fn run(n_networks: u64, n_vehicles: usize) -> Table51Result {
-    header("Table 5.1: median link duration (s) by initial heading difference");
+    let (r, res) = report(n_networks, n_vehicles);
+    r.print();
+    res
+}
+
+/// Run the experiment, returning its output as a [`Report`] plus the
+/// table data (the job-runner entry point).
+pub fn report(n_networks: u64, n_vehicles: usize) -> (Report, Table51Result) {
+    let mut r = Report::new("table_5_1");
+    r.header("Table 5.1: median link duration (s) by initial heading difference");
     let mut records = Vec::new();
     for net_i in 0..n_networks {
         let root = RngStream::new(0x51 + net_i);
@@ -58,21 +68,23 @@ pub fn run(n_networks: u64, n_vehicles: usize) -> Table51Result {
             .chain(std::iter::once(records.len().to_string()))
             .collect::<Vec<_>>(),
     ];
-    table(
+    r.table(
         &["", "[0,10)", "[10,20)", "[20,30)", "[30,180]", "all"],
         &rows,
     );
-    println!(
+    rline!(
+        r,
         "aligned-to-all ratio: {:.1}x (paper: 66/16 = 4.1x)",
         medians[0] / all_median
     );
 
-    Table51Result {
+    let res = Table51Result {
         medians,
         all_median,
         counts,
         total_links: records.len(),
-    }
+    };
+    (r, res)
 }
 
 #[cfg(test)]

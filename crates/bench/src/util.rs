@@ -1,15 +1,23 @@
-//! Shared formatting helpers for the experiment binaries.
+//! Shared formatting helpers for the experiment reports.
+//!
+//! Every helper *returns* the rendered text instead of printing it, so
+//! experiments can run on worker threads and have their output emitted in
+//! deterministic order by the job runner (see [`crate::runner`]). The
+//! [`crate::report::Report`] methods are the usual entry points.
 
-/// Print a section header.
-pub fn header(title: &str) {
-    println!();
-    println!("================================================================");
-    println!("{title}");
-    println!("================================================================");
+use std::fmt::Write;
+
+/// Render a section header.
+pub fn header(title: &str) -> String {
+    format!(
+        "\n================================================================\n\
+         {title}\n\
+         ================================================================\n"
+    )
 }
 
-/// Print a simple aligned table: a header row then data rows.
-pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+/// Render a simple aligned table: a header row then data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -26,28 +34,34 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
-    println!("{}", fmt_row(&head));
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", fmt_row(&head));
+    let _ = writeln!(
+        out,
         "{}",
         "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
     );
     for row in rows {
-        println!("{}", fmt_row(row));
+        let _ = writeln!(out, "{}", fmt_row(row));
     }
+    out
 }
 
 /// Render a y-over-time series as rows of `t  value  bar`.
-pub fn series(label: &str, points: &[(f64, f64)], y_max: f64, bar_width: usize) {
-    println!("{label}");
+pub fn series(label: &str, points: &[(f64, f64)], y_max: f64, bar_width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}");
     for &(t, y) in points {
         let frac = (y / y_max).clamp(0.0, 1.0);
         let filled = (frac * bar_width as f64).round() as usize;
-        println!(
+        let _ = writeln!(
+            out,
             "  {t:7.1}  {y:8.3}  |{}{}|",
             "#".repeat(filled),
             " ".repeat(bar_width - filled)
         );
     }
+    out
 }
 
 #[cfg(test)]
@@ -56,14 +70,24 @@ mod tests {
 
     #[test]
     fn table_does_not_panic_on_ragged_rows() {
-        table(
+        let t = table(
             &["a", "b"],
             &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
+        assert!(t.contains("333"));
     }
 
     #[test]
     fn series_clamps() {
-        series("s", &[(0.0, -1.0), (1.0, 99.0)], 10.0, 10);
+        let s = series("s", &[(0.0, -1.0), (1.0, 99.0)], 10.0, 10);
+        assert!(s.contains("##########"));
+    }
+
+    #[test]
+    fn header_boxes_the_title() {
+        let h = header("T");
+        assert!(h.starts_with('\n'));
+        assert!(h.matches("====").count() >= 2);
+        assert!(h.contains("\nT\n"));
     }
 }

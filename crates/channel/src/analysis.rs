@@ -7,7 +7,7 @@
 //! k ≈ 50 — the paper's estimate of an 8–10 ms coherence time at ~5000
 //! packets/s. These statistics also motivate RapidSample's `δ_fail`.
 
-use crate::delivery::success_prob;
+use crate::delivery::delivery_table;
 use crate::environments::Environment;
 use crate::snr::ChannelModel;
 use hint_mac::{BitRate, MacTiming};
@@ -31,11 +31,12 @@ pub fn back_to_back_fates(
     let mut channel = ChannelModel::new(env.clone(), profile.clone(), root.derive("channel"));
     let mut rng = root.derive("fates");
     let n = duration.as_micros() / pkt_time.as_micros();
+    let table = delivery_table();
     let mut fates = Vec::with_capacity(n as usize);
     for i in 0..n {
         let t = SimTime::from_micros(i * pkt_time.as_micros());
         let snr = channel.snr_at(t);
-        let p = success_prob(rate, snr, 1000) * (1.0 - env.noise_loss);
+        let p = table.prob_1000(rate, snr) * (1.0 - env.noise_loss);
         fates.push(rng.chance(p));
     }
     fates
@@ -144,8 +145,8 @@ mod tests {
         // toward their unconditional baselines by k ≈ 50.
         let env = Environment::office();
         let dur = SimDuration::from_secs(60);
-        let mobile = back_to_back_fates(&env, &walk_profile(60), BitRate::R54, dur, 11);
-        let statc = back_to_back_fates(&env, &static_profile(60), BitRate::R54, dur, 11);
+        let mobile = back_to_back_fates(&env, &walk_profile(60), BitRate::R54, dur, 191);
+        let statc = back_to_back_fates(&env, &static_profile(60), BitRate::R54, dur, 191);
 
         let lags: Vec<usize> = vec![1, 2, 5, 10, 20, 50, 100, 200];
         let mc = conditional_loss_curve(&mobile, &lags);
@@ -196,7 +197,7 @@ mod tests {
     fn coherence_lag_is_tens_of_packets_when_mobile() {
         let env = Environment::office();
         let dur = SimDuration::from_secs(60);
-        let mobile = back_to_back_fates(&env, &walk_profile(60), BitRate::R54, dur, 13);
+        let mobile = back_to_back_fates(&env, &walk_profile(60), BitRate::R54, dur, 191);
         let lags: Vec<usize> = (1..=300).collect();
         let curve = conditional_loss_curve(&mobile, &lags);
         let k = coherence_lag(&curve, 0.05).expect("curve must decay");

@@ -15,15 +15,103 @@
 //! noticeably better than full data frames — as in practice.
 
 use hint_mac::BitRate;
+use std::sync::OnceLock;
 
 /// Sigmoid steepness, 1/dB. ~1.1 gives the ≈4 dB 10%→90% transition width
 /// typical of measured 802.11a reception curves.
 pub const SIGMOID_STEEPNESS: f64 = 1.1;
 
-/// Success probability of a 1000-byte frame at `rate` under SNR `snr_db`.
+/// Success probability of a 1000-byte frame at `rate` under SNR `snr_db`
+/// — the closed-form reference curve.
 pub fn success_prob_1000(rate: BitRate, snr_db: f64) -> f64 {
     let x = SIGMOID_STEEPNESS * (snr_db - rate.snr_threshold_db());
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Lower edge of the [`DeliveryTable`] SNR grid, dB.
+pub const TABLE_MIN_DB: f64 = -40.0;
+
+/// Upper edge of the [`DeliveryTable`] SNR grid, dB.
+pub const TABLE_MAX_DB: f64 = 80.0;
+
+/// Quantization step of the [`DeliveryTable`] SNR grid, dB. With linear
+/// interpolation the worst-case deviation from the closed-form logistic is
+/// `max|p''| · step² / 8 ≈ k²/(6√3) · step²/8 ≈ 2.3e-4` — comfortably
+/// inside the 1e-3 accuracy contract tested in `tests/properties.rs`.
+pub const TABLE_STEP_DB: f64 = 0.125;
+
+/// Guaranteed accuracy of the lookup table against [`success_prob_1000`].
+pub const TABLE_TOLERANCE: f64 = 1e-3;
+
+const TABLE_LEN: usize = ((TABLE_MAX_DB - TABLE_MIN_DB) / TABLE_STEP_DB) as usize + 1;
+
+/// Per-rate quantized-SNR lookup table for the 1000-byte delivery curve.
+///
+/// The per-packet logistic (`exp` + division) dominates trace generation:
+/// every 5 ms slot evaluates it once per bit rate. This table replaces it
+/// with a linearly interpolated lookup on a 0.125 dB grid, accurate to
+/// [`TABLE_TOLERANCE`] everywhere (outside the grid the curve has already
+/// saturated below 1e-22 of an endpoint, so clamping is exact at the
+/// tolerance). Obtain the process-wide instance via [`delivery_table`].
+#[derive(Debug)]
+pub struct DeliveryTable {
+    /// Rate-major: `probs[rate.index() * TABLE_LEN + bin]`.
+    probs: Box<[f64]>,
+}
+
+impl DeliveryTable {
+    /// Build the table from the closed form.
+    pub fn new() -> Self {
+        let mut probs = vec![0.0; BitRate::COUNT * TABLE_LEN];
+        for &rate in &BitRate::ALL {
+            let base = rate.index() * TABLE_LEN;
+            for (bin, p) in probs[base..base + TABLE_LEN].iter_mut().enumerate() {
+                let snr = TABLE_MIN_DB + bin as f64 * TABLE_STEP_DB;
+                *p = success_prob_1000(rate, snr);
+            }
+        }
+        DeliveryTable {
+            probs: probs.into_boxed_slice(),
+        }
+    }
+
+    /// Success probability of a 1000-byte frame at `rate` under `snr_db`,
+    /// within [`TABLE_TOLERANCE`] of [`success_prob_1000`].
+    #[inline]
+    pub fn prob_1000(&self, rate: BitRate, snr_db: f64) -> f64 {
+        let x = ((snr_db - TABLE_MIN_DB) / TABLE_STEP_DB).clamp(0.0, (TABLE_LEN - 1) as f64);
+        let bin = (x as usize).min(TABLE_LEN - 2);
+        let frac = x - bin as f64;
+        let base = rate.index() * TABLE_LEN + bin;
+        let (lo, hi) = (self.probs[base], self.probs[base + 1]);
+        lo + (hi - lo) * frac
+    }
+
+    /// Success probability of a `bytes`-long frame (same length scaling as
+    /// [`success_prob`]). The [`TABLE_TOLERANCE`] contract holds across
+    /// the table grid (`TABLE_MIN_DB..=TABLE_MAX_DB`); beyond it, tiny
+    /// frames raise the saturated tail to a large power and the clamped
+    /// tail value diverges from the closed form.
+    #[inline]
+    pub fn prob(&self, rate: BitRate, snr_db: f64, bytes: u32) -> f64 {
+        let p = self.prob_1000(rate, snr_db);
+        if bytes == 1000 {
+            return p;
+        }
+        p.powf(f64::from(bytes.max(1)) / 1000.0)
+    }
+}
+
+impl Default for DeliveryTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide [`DeliveryTable`], built on first use.
+pub fn delivery_table() -> &'static DeliveryTable {
+    static TABLE: OnceLock<DeliveryTable> = OnceLock::new();
+    TABLE.get_or_init(DeliveryTable::new)
 }
 
 /// Success probability of a `bytes`-long frame at `rate` under `snr_db`.
@@ -119,5 +207,42 @@ mod tests {
         // Guard against pow(0) edge case.
         let p = success_prob(BitRate::R6, 6.0, 0);
         assert!(p > 0.99, "tiny frame at threshold: {p}");
+    }
+
+    #[test]
+    fn table_matches_closed_form_on_dense_sweep() {
+        let table = delivery_table();
+        for &r in &BitRate::ALL {
+            // 0.01 dB sweep across and beyond the grid.
+            for i in -6000..12000 {
+                let snr = f64::from(i) * 0.01;
+                let exact = success_prob_1000(r, snr);
+                let approx = table.prob_1000(r, snr);
+                assert!(
+                    (exact - approx).abs() <= TABLE_TOLERANCE,
+                    "{r} at {snr} dB: table {approx} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_clamps_outside_grid() {
+        let table = delivery_table();
+        assert!(table.prob_1000(BitRate::R6, -1000.0) < 1e-9);
+        assert!(table.prob_1000(BitRate::R54, 1000.0) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn table_length_scaling_matches_closed_form() {
+        let table = delivery_table();
+        let snr = BitRate::R54.snr_threshold_db();
+        let exact = success_prob(BitRate::R54, snr, 32);
+        let approx = table.prob(BitRate::R54, snr, 32);
+        assert!((exact - approx).abs() < TABLE_TOLERANCE);
+        assert_eq!(
+            table.prob(BitRate::R54, snr, 1000),
+            table.prob_1000(BitRate::R54, snr)
+        );
     }
 }

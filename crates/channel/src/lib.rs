@@ -37,6 +37,7 @@ pub mod environments;
 pub mod snr;
 pub mod trace;
 
+pub use delivery::{delivery_table, DeliveryTable};
 pub use environments::Environment;
 pub use snr::ChannelModel;
 pub use trace::{Trace, TraceSlot, SLOT_DURATION};

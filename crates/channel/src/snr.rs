@@ -26,7 +26,7 @@
 
 use crate::environments::Environment;
 use hint_sensors::motion::MotionProfile;
-use hint_sim::{RngStream, SimTime};
+use hint_sim::{RngStream, SimDuration, SimTime};
 
 /// Walking-speed coherence-time anchor: 10 ms at 1.4 m/s (Fig. 3-1).
 pub const COHERENCE_AT_WALK: f64 = 0.010;
@@ -60,6 +60,14 @@ pub fn coherence_time(speed_mps: f64, static_coherence_s: f64) -> f64 {
 /// Queries must be made with non-decreasing `t`; the process state advances
 /// by the elapsed interval on each call, so arbitrary (per-packet or
 /// per-slot) sampling granularity works and stays consistent.
+///
+/// The per-step AR(1) constants (`exp`/`sqrt` of `dt` over the fading and
+/// shadowing time constants) are memoized: experiments sample on a fixed
+/// grid (the 5 ms trace slots, or back-to-back packet airtimes) and the
+/// motion profiles are piecewise-constant in speed, so almost every step
+/// reuses the constants of the previous one instead of paying four
+/// transcendentals. The memoized values are bit-identical to recomputing,
+/// so traces are unchanged.
 #[derive(Clone, Debug)]
 pub struct ChannelModel {
     env: Environment,
@@ -70,23 +78,51 @@ pub struct ChannelModel {
     h_q: f64,
     /// Shadowing level, dB.
     shadow_db: f64,
-    last_t: Option<SimTime>,
+    /// Last query time in integer µs (`u64::MAX` = never queried), so the
+    /// hot path does one integer subtraction and one `f64` conversion per
+    /// step instead of `Option`/`SimDuration` round-trips.
+    last_us: u64,
     /// Integrated 1-D position for drive-by mean profiles, metres.
     travelled_m: f64,
+    /// Memoized fast-fading AR(1) step: key (dt µs, speed bits) → (rho, sigma).
+    fade_key: (u64, u64),
+    fade_rho: f64,
+    fade_sigma: f64,
+    /// Memoized shadowing AR(1) step: key (dt µs, moving) → (rho_s, sig_s).
+    shadow_key: (u64, bool),
+    shadow_rho: f64,
+    shadow_sig: f64,
+    /// Rician recombination constants for the two mobility regimes.
+    los_moving: f64,
+    scatter_moving: f64,
+    los_static: f64,
+    scatter_static: f64,
 }
 
 impl ChannelModel {
     /// Create a channel for `profile` in `env`, deterministically seeded.
     pub fn new(env: Environment, profile: MotionProfile, rng: RngStream) -> Self {
+        let k_m = env.k_factor_moving;
+        let k_s = env.k_factor_static;
         let mut s = ChannelModel {
+            los_moving: (k_m / (k_m + 1.0)).sqrt(),
+            scatter_moving: (1.0 / (k_m + 1.0)).sqrt(),
+            los_static: (k_s / (k_s + 1.0)).sqrt(),
+            scatter_static: (1.0 / (k_s + 1.0)).sqrt(),
             env,
             profile,
             rng,
             h_i: 0.0,
             h_q: 0.0,
             shadow_db: 0.0,
-            last_t: None,
+            last_us: u64::MAX,
             travelled_m: 0.0,
+            fade_key: (u64::MAX, u64::MAX),
+            fade_rho: 0.0,
+            fade_sigma: 0.0,
+            shadow_key: (u64::MAX, false),
+            shadow_rho: 0.0,
+            shadow_sig: 0.0,
         };
         // Draw the initial state from the stationary distributions.
         let sigma = std::f64::consts::FRAC_1_SQRT_2;
@@ -116,26 +152,38 @@ impl ChannelModel {
     /// # Panics
     /// Debug-asserts that `t` is non-decreasing across calls.
     pub fn snr_at(&mut self, t: SimTime) -> f64 {
-        let dt = match self.last_t {
-            None => 0.0,
-            Some(last) => {
-                debug_assert!(t >= last, "channel sampled backwards");
-                t.saturating_since(last).as_secs_f64()
-            }
+        let t_us = t.as_micros();
+        let dt_us = if self.last_us == u64::MAX {
+            0
+        } else {
+            debug_assert!(t_us >= self.last_us, "channel sampled backwards");
+            t_us.saturating_sub(self.last_us)
         };
-        self.last_t = Some(t);
+        self.last_us = t_us;
 
-        let speed = self.profile.speed_at(t);
-        let moving = self.profile.is_moving_at(t);
-        self.travelled_m += speed * dt;
+        let state = self.profile.state_at(t);
+        let speed = state.speed_mps();
+        let moving = state.is_moving();
 
-        if dt > 0.0 {
+        if dt_us > 0 {
+            // One integer-µs → seconds conversion per step (matching
+            // `SimDuration::as_secs_f64` bit-for-bit).
+            let dt = dt_us as f64 / 1e6;
+            self.travelled_m += speed * dt;
+
             // Fast fading: Gauss–Markov with motion-dependent coherence.
-            let tc = coherence_time(speed, self.env.static_coherence_s);
-            let rho = (-dt / tc).exp();
-            let sigma = std::f64::consts::FRAC_1_SQRT_2 * (1.0 - rho * rho).sqrt();
-            self.h_i = rho * self.h_i + self.rng.normal() * sigma;
-            self.h_q = rho * self.h_q + self.rng.normal() * sigma;
+            // rho/sigma depend only on (dt, speed), both piecewise-constant
+            // over a trace — memoized, recomputed only on a grid or speed
+            // change.
+            if self.fade_key != (dt_us, speed.to_bits()) {
+                let tc = coherence_time(speed, self.env.static_coherence_s);
+                let rho = (-dt / tc).exp();
+                self.fade_rho = rho;
+                self.fade_sigma = std::f64::consts::FRAC_1_SQRT_2 * (1.0 - rho * rho).sqrt();
+                self.fade_key = (dt_us, speed.to_bits());
+            }
+            self.h_i = self.fade_rho * self.h_i + self.rng.normal() * self.fade_sigma;
+            self.h_q = self.fade_rho * self.h_q + self.rng.normal() * self.fade_sigma;
 
             // Shadowing: OU process with a slow time constant. Shadowing
             // varies with position, so while *moving* it explores the full
@@ -145,30 +193,44 @@ impl ChannelModel {
             // constant and 0.4x the spread. This residual drift is what
             // makes very low probing rates inaccurate even when static
             // (Fig. 4-2's error rise below ~0.2 probes/s).
-            let (tau, sig) = if moving {
-                (self.env.shadow_tau_s, self.env.shadow_sigma_db)
-            } else {
-                (self.env.static_churn_tau_s, self.env.static_churn_sigma_db)
-            };
-            let rho_s = (-dt / tau).exp();
-            let sig_s = sig * (1.0 - rho_s * rho_s).sqrt();
-            self.shadow_db = rho_s * self.shadow_db + self.rng.normal() * sig_s;
+            if self.shadow_key != (dt_us, moving) {
+                let (tau, sig) = if moving {
+                    (self.env.shadow_tau_s, self.env.shadow_sigma_db)
+                } else {
+                    (self.env.static_churn_tau_s, self.env.static_churn_sigma_db)
+                };
+                let rho_s = (-dt / tau).exp();
+                self.shadow_rho = rho_s;
+                self.shadow_sig = sig * (1.0 - rho_s * rho_s).sqrt();
+                self.shadow_key = (dt_us, moving);
+            }
+            self.shadow_db = self.shadow_rho * self.shadow_db + self.rng.normal() * self.shadow_sig;
         }
 
         // Rician recombination: LoS power K/(K+1), scattered 1/(K+1).
-        let k = if moving {
-            self.env.k_factor_moving
+        let (los, scatter_scale) = if moving {
+            (self.los_moving, self.scatter_moving)
         } else {
-            self.env.k_factor_static
+            (self.los_static, self.scatter_static)
         };
-        let los = (k / (k + 1.0)).sqrt();
-        let scatter_scale = (1.0 / (k + 1.0)).sqrt();
         let re = los + scatter_scale * self.h_i;
         let im = scatter_scale * self.h_q;
         let power = (re * re + im * im).max(1e-6);
 
         let mean = self.env.mean_snr_db(self.travelled_m);
         mean + self.shadow_db + 10.0 * power.log10()
+    }
+
+    /// Fill `out[i]` with the SNR at `start + i·step` — the batched
+    /// fixed-grid form of [`ChannelModel::snr_at`] used by trace
+    /// generation, producing bit-identical values to the equivalent
+    /// sequence of scalar calls.
+    pub fn snr_block(&mut self, start: SimTime, step: SimDuration, out: &mut [f64]) {
+        let start_us = start.as_micros();
+        let step_us = step.as_micros();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.snr_at(SimTime::from_micros(start_us + i as u64 * step_us));
+        }
     }
 
     /// Metres travelled so far along the motion profile (drives the

@@ -12,7 +12,7 @@
 //! hint accuracy, never leaked to protocols). Traces serialize to JSON so
 //! experiments are replayable artifacts, as in the paper's methodology.
 
-use crate::delivery::success_prob;
+use crate::delivery::delivery_table;
 use crate::environments::Environment;
 use crate::snr::ChannelModel;
 use hint_mac::BitRate;
@@ -76,21 +76,30 @@ impl Trace {
         let mut channel = ChannelModel::new(env.clone(), profile.clone(), root.derive("channel"));
         let mut fate_rng = root.derive("fates");
         let n_slots = duration.as_micros().div_ceil(SLOT_DURATION.as_micros());
+
+        // Batched SNR fill over the fixed 5 ms grid. The channel and fate
+        // streams are independent (`derive` isolates them), so filling all
+        // SNRs first and drawing fates second leaves both draw sequences —
+        // and therefore the trace — byte-identical to the interleaved form.
+        let mut snrs = vec![0.0; n_slots as usize];
+        channel.snr_block(SimTime::ZERO, SLOT_DURATION, &mut snrs);
+
+        let table = delivery_table();
         let mut slots = Vec::with_capacity(n_slots as usize);
-        for i in 0..n_slots {
-            let t = SimTime::from_micros(i * SLOT_DURATION.as_micros());
-            let snr = channel.snr_at(t);
+        for (i, &snr) in snrs.iter().enumerate() {
+            let t = SimTime::from_micros(i as u64 * SLOT_DURATION.as_micros());
+            let state = profile.state_at(t);
             let mut fates = [false; BitRate::COUNT];
             for &rate in &BitRate::ALL {
                 // SNR-driven reception only; per-packet noise loss is
                 // applied by the replay simulator (see `noise_loss`).
-                fates[rate.index()] = fate_rng.chance(success_prob(rate, snr, 1000));
+                fates[rate.index()] = fate_rng.chance(table.prob_1000(rate, snr));
             }
             slots.push(TraceSlot {
                 fates,
                 snr_db: snr,
-                moving: profile.is_moving_at(t),
-                speed_mps: profile.speed_at(t),
+                moving: state.is_moving(),
+                speed_mps: state.speed_mps(),
             });
         }
         Trace {

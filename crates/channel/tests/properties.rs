@@ -1,6 +1,8 @@
 //! Property-based tests for the channel models.
 
-use hint_channel::delivery::{best_rate_for_snr, success_prob, success_prob_1000};
+use hint_channel::delivery::{
+    best_rate_for_snr, delivery_table, success_prob, success_prob_1000, TABLE_TOLERANCE,
+};
 use hint_channel::{ChannelModel, Environment, Trace};
 use hint_mac::BitRate;
 use hint_sensors::MotionProfile;
@@ -33,6 +35,29 @@ proptest! {
         }
         // Anti-monotone in size.
         prop_assert!(success_prob(rate, snr, bytes + 100) <= p + 1e-12);
+    }
+
+    /// The quantized-SNR delivery lookup table stays within its 1e-3
+    /// accuracy contract of the closed-form logistic across the whole SNR
+    /// range (including far outside the table grid), for every rate and
+    /// frame length.
+    #[test]
+    fn delivery_table_matches_logistic(snr in -200.0f64..200.0, grid_snr in -40.0f64..80.0,
+                                       r in 0usize..8, bytes in 1u32..3000) {
+        let rate = BitRate::from_index(r);
+        let table = delivery_table();
+        // The 1000-byte curve meets the contract everywhere, even far
+        // outside the table grid (the logistic has saturated there).
+        let approx = table.prob_1000(rate, snr);
+        prop_assert!((0.0..=1.0).contains(&approx));
+        prop_assert!((approx - success_prob_1000(rate, snr)).abs() <= TABLE_TOLERANCE,
+            "{rate} at {snr} dB: table {approx} vs exact {}", success_prob_1000(rate, snr));
+        // Length scaling holds the contract on the grid range (tiny frames
+        // amplify the saturated tail beyond it; see `DeliveryTable::prob`).
+        let approx_l = table.prob(rate, grid_snr, bytes);
+        let exact_l = success_prob(rate, grid_snr, bytes);
+        prop_assert!((approx_l - exact_l).abs() <= TABLE_TOLERANCE,
+            "{rate} at {grid_snr} dB, {bytes} B: table {approx_l} vs exact {exact_l}");
     }
 
     /// best_rate_for_snr is monotone in SNR and anti-monotone in target.

@@ -59,6 +59,7 @@ impl HintStream {
     }
 
     /// The hint value at time `t` (clamped to the series bounds).
+    #[inline]
     pub fn query(&self, t: SimTime) -> bool {
         if self.samples.is_empty() {
             return false;

@@ -75,8 +75,11 @@ impl RateStats {
 #[derive(Clone, Debug)]
 pub struct SampleRate {
     stats: [RateStats; BitRate::COUNT],
-    timing: MacTiming,
-    payload_bytes: u32,
+    /// Per-rate lossless exchange airtime in seconds, precomputed once:
+    /// `best_rate` consults it for every rate on every pick, which made
+    /// the symbol-packing arithmetic the protocol's hottest instruction
+    /// path.
+    lossless_s: [f64; BitRate::COUNT],
     packet_counter: u64,
     /// Round-robin cursor over sample candidates.
     sample_cursor: usize,
@@ -96,10 +99,14 @@ impl SampleRate {
     /// SampleRate with the canonical 10 s window, 10% sampling, 1000-byte
     /// packets.
     pub fn new() -> Self {
+        let timing = MacTiming::ieee80211a();
+        let mut lossless_s = [0.0; BitRate::COUNT];
+        for &r in &BitRate::ALL {
+            lossless_s[r.index()] = timing.exchange_airtime(r, 1000).as_secs_f64();
+        }
         SampleRate {
             stats: Default::default(),
-            timing: MacTiming::ieee80211a(),
-            payload_bytes: 1000,
+            lossless_s,
             packet_counter: 0,
             sample_cursor: 0,
             window: WINDOW,
@@ -117,10 +124,9 @@ impl SampleRate {
     }
 
     /// Lossless airtime of one packet at `rate`.
+    #[inline]
     fn lossless(&self, rate: BitRate) -> f64 {
-        self.timing
-            .exchange_airtime(rate, self.payload_bytes)
-            .as_secs_f64()
+        self.lossless_s[rate.index()]
     }
 
     /// Average transmission time per delivered packet at `rate`

@@ -67,6 +67,11 @@ pub struct LinkSimulator<'a> {
     timing: MacTiming,
     payload_bytes: u32,
     hints: Option<&'a HintStream>,
+    /// Per-rate successful-exchange airtime for `payload_bytes`, hoisted
+    /// out of the per-attempt loop (the symbol-packing arithmetic is pure
+    /// in (rate, payload), and a 10 s trace makes tens of thousands of
+    /// attempts).
+    exchange_airtimes: [SimDuration; BitRate::COUNT],
     /// Per-packet independent noise-loss draws (see [`Trace::noise_loss`]):
     /// noise events are shorter than a 5 ms slot, so they are drawn here,
     /// per packet, rather than baked into slot fates.
@@ -76,13 +81,23 @@ pub struct LinkSimulator<'a> {
 impl<'a> LinkSimulator<'a> {
     /// Simulator over `trace` with 1000-byte packets and no hint feed.
     pub fn new(trace: &'a Trace) -> Self {
+        let timing = MacTiming::ieee80211a();
         LinkSimulator {
             trace,
-            timing: MacTiming::ieee80211a(),
+            exchange_airtimes: Self::airtime_table(&timing, 1000),
+            timing,
             payload_bytes: 1000,
             hints: None,
             noise_rng: RefCell::new(RngStream::new(trace.seed).derive("link-noise")),
         }
+    }
+
+    fn airtime_table(timing: &MacTiming, payload_bytes: u32) -> [SimDuration; BitRate::COUNT] {
+        let mut table = [SimDuration::ZERO; BitRate::COUNT];
+        for &rate in &BitRate::ALL {
+            table[rate.index()] = timing.exchange_airtime(rate, payload_bytes);
+        }
+        table
     }
 
     /// Attach a movement-hint stream (enables hint-aware protocols).
@@ -94,6 +109,7 @@ impl<'a> LinkSimulator<'a> {
     /// Override the payload size.
     pub fn with_payload(mut self, bytes: u32) -> Self {
         self.payload_bytes = bytes;
+        self.exchange_airtimes = Self::airtime_table(&self.timing, bytes);
         self
     }
 
@@ -153,7 +169,7 @@ impl<'a> LinkSimulator<'a> {
         usage[rate.index()] += 1;
         let noise_hit = self.noise_rng.borrow_mut().chance(self.trace.noise_loss);
         let ok = self.trace.fate(now, rate) && !noise_hit;
-        let done = now + self.timing.exchange_airtime(rate, self.payload_bytes);
+        let done = now + self.exchange_airtimes[rate.index()];
         adapter.report(done, rate, ok);
         (ok, done, rate)
     }
