@@ -11,11 +11,10 @@
 
 use crate::report::Report;
 use crate::rline;
-use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
-use hint_rateadapt::protocols::{HintAware, RapidSample, SampleRate};
-use hint_rateadapt::{HintStream, LinkSimulator, Workload};
-use hint_sensors::MotionProfile;
+use hint_rateadapt::protocols::RapidSample;
+use hint_rateadapt::scenario::{EnvironmentSpec, MotionSpec, ScenarioBuilder};
+use hint_rateadapt::Workload;
 use hint_sim::{mean, SimDuration};
 use hint_topology::adaptive::{AdaptiveConfig, AdaptiveProber};
 use hint_topology::delivery::{actual_series, held_tracking_error};
@@ -33,23 +32,33 @@ pub fn rapidsample_delta_success() -> Vec<(u64, f64)> {
 pub fn rapidsample_delta_success_report() -> (Report, Vec<(u64, f64)>) {
     let mut r = Report::new("ablation_delta_success");
     r.header("Ablation: RapidSample delta_success sweep (mobile, office, UDP)");
-    let env = Environment::office();
     let dur = SimDuration::from_secs(20);
+    // One compiled scenario per trace; every delta runs over the same
+    // traces (the scenario's default protocol is overridden per run).
+    let scenarios: Vec<_> = (0..6u64)
+        .map(|i| {
+            ScenarioBuilder::new()
+                .motion(MotionSpec::Walking {
+                    speed_mps: 1.4,
+                    heading_deg: 0.0,
+                })
+                .duration(dur)
+                .seed(7000 + i)
+                .build()
+                .expect("valid ablation scenario")
+        })
+        .collect();
     let mut rows_out = Vec::new();
     let mut rows = Vec::new();
     for delta_ms in [1u64, 2, 5, 8, 10, 20] {
-        let goodputs: Vec<f64> = (0..6u64)
-            .map(|i| {
-                let profile = MotionProfile::walking(dur, 1.4, 0.0);
-                let trace = Trace::generate(&env, &profile, dur, 7000 + i);
+        let goodputs: Vec<f64> = scenarios
+            .iter()
+            .map(|scenario| {
                 let mut rs = RapidSample::with_params(
                     SimDuration::from_millis(delta_ms),
                     SimDuration::from_millis(10),
                 );
-                LinkSimulator::new(&trace)
-                    .run(&mut rs, Workload::Udp)
-                    .goodput_bps
-                    / 1e6
+                scenario.run_with(&mut rs).goodput_bps / 1e6
             })
             .collect();
         let m = mean(&goodputs);
@@ -76,20 +85,25 @@ pub fn hint_latency() -> Vec<(u64, f64)> {
 pub fn hint_latency_report() -> (Report, Vec<(u64, f64)>) {
     let mut r = Report::new("ablation_hint_latency");
     r.header("Ablation: movement-hint latency vs hint-aware goodput (mixed, TCP)");
-    let env = Environment::office();
     let dur = SimDuration::from_secs(20);
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for latency_ms in [0u64, 100, 300, 1000, 3000, 8000] {
         let goodputs: Vec<f64> = (0..6u64)
             .map(|i| {
-                let profile = MotionProfile::half_and_half(SimDuration::from_secs(10), i % 2 == 0);
-                let trace = Trace::generate(&env, &profile, dur, 7100 + i);
-                let hints = HintStream::oracle(&profile, dur, SimDuration::from_millis(latency_ms));
-                let mut ha = HintAware::with_strategies(RapidSample::new(), SampleRate::new());
-                LinkSimulator::new(&trace)
-                    .with_hints(&hints)
-                    .run(&mut ha, Workload::tcp())
+                ScenarioBuilder::new()
+                    .motion(MotionSpec::HalfAndHalf {
+                        static_first: i % 2 == 0,
+                    })
+                    .duration(dur)
+                    .seed(7100 + i)
+                    .workload(Workload::tcp())
+                    .protocol("HintAware")
+                    .oracle_hints(SimDuration::from_millis(latency_ms))
+                    .build()
+                    .expect("valid ablation scenario")
+                    .run()
+                    .result
                     .goodput_bps
                     / 1e6
             })
@@ -118,25 +132,40 @@ pub fn prober_hold_down() -> Vec<(u64, f64)> {
 pub fn prober_hold_down_report() -> (Report, Vec<(u64, f64)>) {
     let mut r = Report::new("ablation_prober_hold_down");
     r.header("Ablation: adaptive prober hold-down vs tracking error (mixed trace)");
-    let env = Environment::mesh_edge();
+    // The traces are invariant across the hold-down sweep: build each
+    // scenario's trace, probe stream and actual-delivery series once.
+    let motion = MotionSpec::Alternating {
+        each: SimDuration::from_secs(10),
+        n_pairs: 3,
+    };
+    let profile = motion.profile(motion.implied_duration().expect("self-sizing motion"));
+    let cases: Vec<_> = (0..6u64)
+        .map(|i| {
+            let trace = ScenarioBuilder::new()
+                .environment(EnvironmentSpec::MeshEdge)
+                .motion_sized(motion.clone())
+                .seed(7500 + i)
+                .build_trace()
+                .expect("valid ablation trace");
+            let stream = ProbeStream::from_trace(&trace, BitRate::R6, i);
+            let actual = actual_series(&stream);
+            (stream, actual)
+        })
+        .collect();
+
     let mut out = Vec::new();
     let mut rows = Vec::new();
     for hold_ms in [0u64, 250, 500, 1000, 2000, 5000] {
         let mut errs = Vec::new();
-        for i in 0..6u64 {
-            let profile = MotionProfile::alternating(SimDuration::from_secs(10), 3);
-            let dur = profile.duration();
-            let trace = Trace::generate(&env, &profile, dur, 7500 + i);
-            let stream = ProbeStream::from_trace(&trace, BitRate::R6, i);
-            let actual = actual_series(&stream);
+        for (stream, actual) in &cases {
             let prober = AdaptiveProber::with_config(AdaptiveConfig {
                 slow_hz: 1.0,
                 fast_hz: 10.0,
                 hold_down: SimDuration::from_millis(hold_ms),
             });
-            let run = prober.run(&stream, |t| profile.is_moving_at(t));
+            let run = prober.run(stream, |t| profile.is_moving_at(t));
             errs.push(
-                held_tracking_error(&run.estimates, &actual, SimDuration::from_millis(100)).mean(),
+                held_tracking_error(&run.estimates, actual, SimDuration::from_millis(100)).mean(),
             );
         }
         let m = mean(&errs);

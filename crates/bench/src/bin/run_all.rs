@@ -10,17 +10,25 @@
 //!   stdout is **byte-identical for every N** (per-job wall-clock timings
 //!   go to stderr).
 //! * `--filter S` — run only experiments whose name contains `S`
-//!   (e.g. `--filter fig_3` or `--filter table_5_1`).
+//!   (e.g. `--filter fig_3` or `--filter table_5_1`). A filter matching
+//!   nothing is an error (exit 2) naming the valid experiments.
 //! * `--smoke`    — the CI-sized battery instead of the full one.
+//! * `--list`     — print the battery index (names + one-line
+//!   descriptions) and exit, so `--filter` values are discoverable.
+//!   Composes with `--smoke`/`--filter`: lists exactly the jobs a run
+//!   with the same flags would execute.
 
-use hint_bench::runner::{filter_jobs, full_battery, run_jobs_with, smoke_battery, Job};
+use hint_bench::runner::{
+    battery_index, full_battery, run_jobs_with, select_jobs, smoke_battery, Job,
+};
 use std::io::Write;
 
-const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--filter SUBSTRING]\n\
+const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--filter SUBSTRING] [--list]\n\
        --jobs N    run experiments on N worker threads (N >= 1; output is\n\
                    byte-identical to --jobs 1)\n\
        --filter S  run only experiments whose name contains S\n\
-       --smoke     run the CI-sized smoke battery";
+       --smoke     run the CI-sized smoke battery\n\
+       --list      print the battery index (names and descriptions) and exit";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("run_all: {msg}\n{USAGE}");
@@ -31,6 +39,7 @@ struct Options {
     smoke: bool,
     jobs: usize,
     filter: Option<String>,
+    list: bool,
 }
 
 fn parse_args(args: &[String]) -> Options {
@@ -38,11 +47,13 @@ fn parse_args(args: &[String]) -> Options {
         smoke: false,
         jobs: 1,
         filter: None,
+        list: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => opts.smoke = true,
+            "--list" => opts.list = true,
             "--jobs" => {
                 let v = it
                     .next()
@@ -75,13 +86,17 @@ fn main() {
         full_battery()
     };
     let total = battery.len();
-    let selected = match &opts.filter {
-        Some(f) => filter_jobs(battery, f),
-        None => battery,
+
+    let selected = match select_jobs(battery, opts.filter.as_deref()) {
+        Ok(jobs) => jobs,
+        Err(msg) => usage_error(&msg),
     };
-    if selected.is_empty() {
-        let f = opts.filter.as_deref().unwrap_or("");
-        usage_error(&format!("no experiment matches filter `{f}`"));
+
+    if opts.list {
+        // --list composes with --smoke and --filter: print exactly the
+        // jobs a run with the same flags would execute.
+        print!("{}", battery_index(&selected));
+        return;
     }
 
     let n_selected = selected.len();

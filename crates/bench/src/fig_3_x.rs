@@ -13,7 +13,7 @@
 use crate::report::Report;
 use crate::rline;
 use hint_channel::Environment;
-use hint_rateadapt::evaluate::{evaluate, score_of, EvalConfig, ProtocolKind, Scenario};
+use hint_rateadapt::evaluate::{evaluate, score_of, EvalConfig, ProtocolKind, ScenarioFamily};
 use hint_rateadapt::Workload;
 use hint_sim::SimDuration;
 
@@ -41,29 +41,29 @@ pub enum Fig3 {
 }
 
 impl Fig3 {
-    /// The scenario and workload of this figure.
-    fn scenario(self) -> (Scenario, Workload) {
+    /// The scenario family and workload of this figure.
+    fn scenario(self) -> (ScenarioFamily, Workload) {
         match self {
             Fig3::MixedMobility => (
-                Scenario::MixedMobility {
+                ScenarioFamily::MixedMobility {
                     half: SimDuration::from_secs(10),
                 },
                 Workload::tcp(),
             ),
             Fig3::Mobile => (
-                Scenario::Mobile {
+                ScenarioFamily::Mobile {
                     duration: SimDuration::from_secs(20),
                 },
                 Workload::tcp(),
             ),
             Fig3::Static => (
-                Scenario::Static {
+                ScenarioFamily::Static {
                     duration: SimDuration::from_secs(20),
                 },
                 Workload::tcp(),
             ),
             Fig3::Vehicular => (
-                Scenario::Vehicular {
+                ScenarioFamily::Vehicular {
                     duration: SimDuration::from_secs(10),
                     speed_mps: 15.0,
                 },

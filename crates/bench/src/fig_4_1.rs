@@ -6,9 +6,8 @@
 
 use crate::report::Report;
 use crate::rline;
-use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
-use hint_sensors::MotionProfile;
+use hint_rateadapt::scenario::{EnvironmentSpec, MotionSpec, ScenarioBuilder};
 use hint_sim::SimDuration;
 use hint_topology::delivery::per_second_delivery;
 use hint_topology::ProbeStream;
@@ -38,17 +37,19 @@ pub fn run() -> Fig41Result {
 pub fn report() -> (Report, Fig41Result) {
     let mut r = Report::new("fig_4_1");
     r.header("Fig. 4-1: 6 Mbit/s delivery rate over time and movement");
-    let profile = MotionProfile::static_move_static(
-        SimDuration::from_secs(40),
-        SimDuration::from_secs(60),
-        SimDuration::from_secs(40),
-    );
-    let trace = Trace::generate(
-        &Environment::mesh_edge(),
-        &profile,
-        SimDuration::from_secs(140),
-        41,
-    );
+    let motion = MotionSpec::StaticMoveStatic {
+        lead: SimDuration::from_secs(40),
+        moving: SimDuration::from_secs(60),
+        tail: SimDuration::from_secs(40),
+    };
+    let dur = motion.implied_duration().expect("self-sizing motion");
+    let profile = motion.profile(dur);
+    let trace = ScenarioBuilder::new()
+        .environment(EnvironmentSpec::MeshEdge)
+        .motion_sized(motion)
+        .seed(41)
+        .build_trace()
+        .expect("valid Fig. 4-1 scenario");
     let stream = ProbeStream::from_trace(&trace, BitRate::R6, 41);
     let per_second = per_second_delivery(&stream);
     let moving: Vec<bool> = (0..per_second.len())

@@ -8,9 +8,8 @@
 
 use crate::report::Report;
 use crate::rline;
-use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
-use hint_sensors::MotionProfile;
+use hint_rateadapt::scenario::{EnvironmentSpec, MotionSpec, ScenarioBuilder};
 use hint_sim::{OnlineStats, SimDuration};
 use hint_topology::delivery::estimate_error;
 use hint_topology::ProbeStream;
@@ -54,23 +53,37 @@ pub fn report(n_traces: u64) -> (Report, Fig4243Result) {
     r.header("Figs. 4-2 / 4-3: estimate error vs probing rate (static / mobile)");
     let rates = vec![0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
     let dur = SimDuration::from_secs(180);
-    let env = Environment::mesh_edge();
 
     let measure = |moving: bool| -> Vec<(f64, f64)> {
+        // The traces depend only on (regime, seed), not on the probing
+        // rate: build each scenario's probe stream once, sweep all rates.
+        let streams: Vec<ProbeStream> = (0..n_traces)
+            .map(|seed| {
+                let motion = if moving {
+                    MotionSpec::Walking {
+                        speed_mps: 1.4,
+                        heading_deg: 0.0,
+                    }
+                } else {
+                    MotionSpec::Stationary
+                };
+                let base = if moving { 4300 } else { 4200 };
+                let trace = ScenarioBuilder::new()
+                    .environment(EnvironmentSpec::MeshEdge)
+                    .motion(motion)
+                    .duration(dur)
+                    .seed(base + seed)
+                    .build_trace()
+                    .expect("valid Fig. 4-2/4-3 scenario");
+                ProbeStream::from_trace(&trace, BitRate::R6, seed)
+            })
+            .collect();
         rates
             .iter()
             .map(|&rate| {
                 let mut err = OnlineStats::new();
-                for seed in 0..n_traces {
-                    let profile = if moving {
-                        MotionProfile::walking(dur, 1.4, 0.0)
-                    } else {
-                        MotionProfile::stationary(dur)
-                    };
-                    let base = if moving { 4300 } else { 4200 };
-                    let trace = Trace::generate(&env, &profile, dur, base + seed);
-                    let stream = ProbeStream::from_trace(&trace, BitRate::R6, seed);
-                    err.merge(&estimate_error(&stream, rate));
+                for stream in &streams {
+                    err.merge(&estimate_error(stream, rate));
                 }
                 (err.mean(), err.stddev())
             })

@@ -9,9 +9,8 @@
 
 use crate::report::Report;
 use crate::rline;
-use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
-use hint_sensors::MotionProfile;
+use hint_rateadapt::scenario::{EnvironmentSpec, MotionSpec, ScenarioBuilder};
 use hint_sim::{SimDuration, SimTime};
 use hint_topology::delivery::{actual_at, actual_series, held_tracking_error, observed_series};
 use hint_topology::ProbeStream;
@@ -39,7 +38,6 @@ pub fn report() -> (Report, (TraceTracking, TraceTracking)) {
     let mut r = Report::new("fig_4_4_4_5");
     r.header("Figs. 4-4 / 4-5: delivery probability by probing rate over time");
     let rates = vec![1.0, 5.0, 10.0];
-    let env = Environment::mesh_edge();
     let dur = SimDuration::from_secs(25);
 
     let mut out = Vec::new();
@@ -50,14 +48,23 @@ pub fn report() -> (Report, (TraceTracking, TraceTracking)) {
             "stationary (Fig. 4-4)"
         };
         rline!(r, "\n--- {label} ---");
-        let profile = if moving {
-            MotionProfile::walking(dur, 1.4, 0.0)
+        let motion = if moving {
+            MotionSpec::Walking {
+                speed_mps: 1.4,
+                heading_deg: 0.0,
+            }
         } else {
-            MotionProfile::stationary(dur)
+            MotionSpec::Stationary
         };
         // Representative traces (the paper likewise shows one
         // representative 25 s trace per regime).
-        let trace = Trace::generate(&env, &profile, dur, if moving { 4407 } else { 4402 });
+        let trace = ScenarioBuilder::new()
+            .environment(EnvironmentSpec::MeshEdge)
+            .motion(motion)
+            .duration(dur)
+            .seed(if moving { 4407 } else { 4402 })
+            .build_trace()
+            .expect("valid Fig. 4-4/4-5 scenario");
         let stream = ProbeStream::from_trace(&trace, BitRate::R6, 7);
         let actual = actual_series(&stream);
 

@@ -7,10 +7,8 @@
 
 use crate::report::Report;
 use crate::rline;
-use hint_channel::{Environment, Trace};
 use hint_mac::BitRate;
-use hint_rateadapt::HintStream;
-use hint_sensors::MotionProfile;
+use hint_rateadapt::scenario::{EnvironmentSpec, MotionSpec, Scenario, ScenarioBuilder};
 use hint_sim::{SimDuration, SimTime};
 use hint_topology::adaptive::{fixed_rate_run, AdaptiveProber};
 use hint_topology::delivery::{actual_series, held_tracking_error};
@@ -46,22 +44,31 @@ pub fn run() -> Fig46Result {
 pub fn report() -> (Report, Fig46Result) {
     let mut r = Report::new("fig_4_6");
     r.header("Fig. 4-6: delivery probability by probing strategy (combined trace)");
-    let dur = SimDuration::from_secs(60);
-    // Static 0-20 s, mobile 20-40 s, static 40-60 s.
-    let profile = MotionProfile::static_move_static(
-        SimDuration::from_secs(20),
-        SimDuration::from_secs(20),
-        SimDuration::from_secs(20),
-    );
     let step = SimDuration::from_millis(100);
+    // Static 0-20 s, mobile 20-40 s, static 40-60 s, on the mesh-edge
+    // link; hints ride the sensor pipeline with the historical seed.
+    // `motion_sized` derives the 60 s duration from the segments.
+    let scenario_for = |seed: u64| -> Scenario {
+        ScenarioBuilder::new()
+            .environment(EnvironmentSpec::MeshEdge)
+            .motion_sized(MotionSpec::StaticMoveStatic {
+                lead: SimDuration::from_secs(20),
+                moving: SimDuration::from_secs(20),
+                tail: SimDuration::from_secs(20),
+            })
+            .seed(seed)
+            .sensor_hints_seeded(seed ^ 0x4646)
+            .build()
+            .expect("valid Fig. 4-6 scenario")
+    };
 
     // Aggregate errors over several traces.
     let mut adaptive_stats = hint_sim::OnlineStats::new();
     let mut fixed_stats = hint_sim::OnlineStats::new();
     for seed in 4606..4614u64 {
-        let trace = Trace::generate(&Environment::mesh_edge(), &profile, dur, seed);
-        let stream = ProbeStream::from_trace(&trace, BitRate::R6, seed ^ 0x46);
-        let hints = HintStream::from_sensors(&profile, dur, seed ^ 0x4646);
+        let scenario = scenario_for(seed);
+        let stream = ProbeStream::from_trace(scenario.trace(), BitRate::R6, seed ^ 0x46);
+        let hints = scenario.hints().expect("sensor hints configured");
         let actual = actual_series(&stream);
         let arun = AdaptiveProber::new().run(&stream, |t| hints.query(t));
         let frun = fixed_rate_run(&stream, 1.0);
@@ -72,9 +79,9 @@ pub fn report() -> (Report, Fig46Result) {
     let fixed_err = fixed_stats.mean();
 
     // Representative trace for the printed figure.
-    let trace = Trace::generate(&Environment::mesh_edge(), &profile, dur, 4607);
-    let stream = ProbeStream::from_trace(&trace, BitRate::R6, 4607 ^ 0x46);
-    let hints = HintStream::from_sensors(&profile, dur, 4607 ^ 0x4646);
+    let scenario = scenario_for(4607);
+    let stream = ProbeStream::from_trace(scenario.trace(), BitRate::R6, 4607 ^ 0x46);
+    let hints = scenario.hints().expect("sensor hints configured");
     let actual = actual_series(&stream);
     let run = AdaptiveProber::new().run(&stream, |t| hints.query(t));
     let fixed = fixed_rate_run(&stream, 1.0);

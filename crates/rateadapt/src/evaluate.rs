@@ -8,11 +8,11 @@
 //! window parameter per scenario (Sec. 3.4); [`EvalConfig::samplerate_windows`]
 //! reproduces that bias by sweeping windows and keeping the best mean.
 
-use crate::hintstream::HintStream;
-use crate::protocols::{Charm, HintAware, RapidSample, RateAdapter, Rbar, Rraa, SampleRate};
-use crate::sim::LinkSimulator;
+use crate::protocols::registry::{ProtocolParams, ProtocolRegistry};
+use crate::protocols::RateAdapter;
+use crate::scenario::{EnvironmentSpec, HintSpec, MotionSpec, Scenario, ScenarioSpec};
 use crate::workload::Workload;
-use hint_channel::{Environment, Trace};
+use hint_channel::Environment;
 use hint_sensors::MotionProfile;
 use hint_sim::{ci95, mean, SimDuration};
 
@@ -57,24 +57,23 @@ impl ProtocolKind {
     }
 
     /// Instantiate a fresh adapter (SampleRate takes its window here).
+    ///
+    /// Delegates to the builtin [`ProtocolRegistry`] — `ProtocolKind` is
+    /// now a typed view over the same name → factory mapping the
+    /// [`crate::scenario`] API uses.
     pub fn build(self, samplerate_window: SimDuration) -> Box<dyn RateAdapter> {
-        match self {
-            ProtocolKind::RapidSample => Box::new(RapidSample::new()),
-            ProtocolKind::SampleRate => Box::new(SampleRate::with_window(samplerate_window)),
-            ProtocolKind::Rraa => Box::new(Rraa::new()),
-            ProtocolKind::Rbar => Box::new(Rbar::new()),
-            ProtocolKind::Charm => Box::new(Charm::new()),
-            ProtocolKind::HintAware => Box::new(HintAware::with_strategies(
-                RapidSample::new(),
-                SampleRate::with_window(samplerate_window),
-            )),
-        }
+        ProtocolRegistry::builtin_shared()
+            .build(self.name(), &ProtocolParams { samplerate_window })
+            .expect("builtin registry carries all six paper protocols")
     }
 }
 
-/// How traces are produced for one evaluation scenario.
+/// How traces are produced for one evaluation sweep: a *family* of
+/// per-trace scenarios, one [`MotionSpec`] per trace index. (The single-
+/// run counterpart is [`crate::scenario::ScenarioSpec`]; this type's
+/// [`ScenarioFamily::spec`] maps an index to one.)
 #[derive(Clone, Debug)]
-pub enum Scenario {
+pub enum ScenarioFamily {
     /// 50% static / 50% mobile 20 s traces, alternating which half comes
     /// first per trace (Fig. 3-5).
     MixedMobility {
@@ -100,32 +99,63 @@ pub enum Scenario {
     },
 }
 
-impl Scenario {
-    /// The motion profile of trace number `i` under this scenario.
-    pub fn profile(&self, i: usize) -> MotionProfile {
+impl ScenarioFamily {
+    /// The motion of trace number `i` under this family.
+    pub fn motion(&self, i: usize) -> MotionSpec {
         match *self {
-            Scenario::MixedMobility { half } => MotionProfile::half_and_half(half, i % 2 == 0),
-            Scenario::Mobile { duration } => MotionProfile::walking(duration, 1.4, 90.0),
-            Scenario::Static { duration } => MotionProfile::stationary(duration),
-            Scenario::Vehicular {
-                duration,
-                speed_mps,
-            } => {
+            ScenarioFamily::MixedMobility { .. } => MotionSpec::HalfAndHalf {
+                static_first: i % 2 == 0,
+            },
+            ScenarioFamily::Mobile { .. } => MotionSpec::Walking {
+                speed_mps: 1.4,
+                heading_deg: 90.0,
+            },
+            ScenarioFamily::Static { .. } => MotionSpec::Stationary,
+            ScenarioFamily::Vehicular { speed_mps, .. } => {
                 // The paper's car drove "at varying speeds between 8 and
                 // 72 km/h"; vary the speed across traces around the base.
-                let speed = speed_mps * (0.6 + 0.1 * (i % 9) as f64);
-                MotionProfile::vehicle(duration, speed, 0.0)
+                MotionSpec::Vehicle {
+                    speed_mps: speed_mps * (0.6 + 0.1 * (i % 9) as f64),
+                    heading_deg: 0.0,
+                }
             }
         }
     }
 
-    /// Total duration of a trace under this scenario.
+    /// The motion profile of trace number `i` under this family.
+    pub fn profile(&self, i: usize) -> MotionProfile {
+        self.motion(i).profile(self.duration())
+    }
+
+    /// Total duration of a trace under this family.
     pub fn duration(&self) -> SimDuration {
         match *self {
-            Scenario::MixedMobility { half } => half * 2,
-            Scenario::Mobile { duration }
-            | Scenario::Static { duration }
-            | Scenario::Vehicular { duration, .. } => duration,
+            ScenarioFamily::MixedMobility { half } => half * 2,
+            ScenarioFamily::Mobile { duration }
+            | ScenarioFamily::Static { duration }
+            | ScenarioFamily::Vehicular { duration, .. } => duration,
+        }
+    }
+
+    /// The full [`ScenarioSpec`] of trace number `i` in `env` under
+    /// `cfg` (protocol field left at its default: [`evaluate`] sweeps
+    /// every protocol over the compiled scenario via
+    /// [`Scenario::run_with`]).
+    pub fn spec(&self, env: &Environment, i: usize, cfg: &EvalConfig) -> ScenarioSpec {
+        ScenarioSpec {
+            environment: EnvironmentSpec::Custom(env.clone()),
+            motion: self.motion(i),
+            duration: self.duration(),
+            seed: cfg.seed.wrapping_add(i as u64),
+            workload: cfg.workload,
+            hints: if cfg.sensor_hints {
+                HintSpec::Sensors { seed: None }
+            } else {
+                HintSpec::Oracle {
+                    latency: SimDuration::ZERO,
+                }
+            },
+            ..ScenarioSpec::default()
         }
     }
 }
@@ -197,24 +227,26 @@ impl ProtocolScore {
     }
 }
 
-/// Evaluate all six protocols in `env` under `scenario`.
+/// Evaluate all six protocols in `env` under `family`.
 ///
-/// Every protocol sees exactly the same traces and the same hint streams,
-/// so differences are purely algorithmic.
-pub fn evaluate(env: &Environment, scenario: &Scenario, cfg: &EvalConfig) -> Vec<ProtocolScore> {
-    // Pre-generate traces and hint streams once.
-    let mut traces = Vec::with_capacity(cfg.n_traces);
-    for i in 0..cfg.n_traces {
-        let profile = scenario.profile(i);
-        let seed = cfg.seed.wrapping_add(i as u64);
-        let trace = Trace::generate(env, &profile, scenario.duration(), seed);
-        let hints = if cfg.sensor_hints {
-            HintStream::from_sensors(&profile, scenario.duration(), seed ^ 0x5EED)
-        } else {
-            HintStream::oracle(&profile, scenario.duration(), SimDuration::ZERO)
-        };
-        traces.push((trace, hints));
-    }
+/// Each trace index compiles one [`ScenarioSpec`] into an owning
+/// [`Scenario`] (trace + hint stream generated once); every protocol then
+/// runs over exactly the same compiled scenarios via
+/// [`Scenario::run_with`], so differences are purely algorithmic.
+pub fn evaluate(
+    env: &Environment,
+    family: &ScenarioFamily,
+    cfg: &EvalConfig,
+) -> Vec<ProtocolScore> {
+    // Compile each trace's scenario once.
+    let scenarios: Vec<Scenario> = (0..cfg.n_traces)
+        .map(|i| {
+            family
+                .spec(env, i, cfg)
+                .compile()
+                .expect("evaluation families produce valid specs")
+        })
+        .collect();
 
     ProtocolKind::ALL
         .iter()
@@ -227,14 +259,11 @@ pub fn evaluate(env: &Environment, scenario: &Scenario, cfg: &EvalConfig) -> Vec
             };
             let mut best: Option<Vec<f64>> = None;
             for &w in windows {
-                let goodputs: Vec<f64> = traces
+                let goodputs: Vec<f64> = scenarios
                     .iter()
-                    .map(|(trace, hints)| {
+                    .map(|scenario| {
                         let mut adapter = kind.build(w);
-                        LinkSimulator::new(trace)
-                            .with_hints(hints)
-                            .run(adapter.as_mut(), cfg.workload)
-                            .goodput_bps
+                        scenario.run_with(adapter.as_mut()).goodput_bps
                     })
                     .collect();
                 let better = match &best {
@@ -281,7 +310,7 @@ mod tests {
     #[test]
     fn mobile_scenario_rapidsample_wins() {
         let env = Environment::office();
-        let scen = Scenario::Mobile {
+        let scen = ScenarioFamily::Mobile {
             duration: SimDuration::from_secs(10),
         };
         let scores = evaluate(&env, &scen, &quick_cfg(Workload::Udp));
@@ -298,7 +327,7 @@ mod tests {
     #[test]
     fn static_scenario_samplerate_wins() {
         let env = Environment::office();
-        let scen = Scenario::Static {
+        let scen = ScenarioFamily::Static {
             duration: SimDuration::from_secs(10),
         };
         let scores = evaluate(&env, &scen, &quick_cfg(Workload::Udp));
@@ -315,7 +344,7 @@ mod tests {
     #[test]
     fn mixed_scenario_hintaware_wins() {
         let env = Environment::office();
-        let scen = Scenario::MixedMobility {
+        let scen = ScenarioFamily::MixedMobility {
             half: SimDuration::from_secs(10),
         };
         let scores = evaluate(&env, &scen, &quick_cfg(Workload::tcp()));
@@ -333,12 +362,12 @@ mod tests {
 
     #[test]
     fn scenario_profiles_match_description() {
-        let s = Scenario::MixedMobility {
+        let s = ScenarioFamily::MixedMobility {
             half: SimDuration::from_secs(10),
         };
         assert!((s.profile(0).moving_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(s.duration(), SimDuration::from_secs(20));
-        let v = Scenario::Vehicular {
+        let v = ScenarioFamily::Vehicular {
             duration: SimDuration::from_secs(10),
             speed_mps: 15.0,
         };
@@ -348,7 +377,7 @@ mod tests {
     #[test]
     fn all_protocols_scored() {
         let env = Environment::hallway();
-        let scen = Scenario::Static {
+        let scen = ScenarioFamily::Static {
             duration: SimDuration::from_secs(5),
         };
         let mut cfg = quick_cfg(Workload::Udp);

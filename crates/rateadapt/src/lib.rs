@@ -17,9 +17,12 @@
 //! | [`protocols::Charm`]       | SNR-based, averaged | Judd et al. 2008 |
 //! | [`protocols::HintAware`]   | hint-switched RapidSample/SampleRate | the paper's contribution (Sec. 3.2) |
 //!
-//! Evaluation entry points live in [`evaluate`]; the Fig. 3-5..3-8
-//! experiment binaries in the `hint-bench` crate are thin wrappers over
-//! them.
+//! The [`scenario`] module is the workspace's **single experiment front
+//! door**: a serializable [`scenario::ScenarioSpec`] (environment ×
+//! motion × workload × protocol-by-name × hints) compiles into a run —
+//! see the `scenario_run` binary for executing JSON spec files. The
+//! multi-trace evaluation harness in [`evaluate`] and the Fig. 3-5..3-8
+//! experiment binaries in the `hint-bench` crate are built on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +30,18 @@
 pub mod evaluate;
 pub mod hintstream;
 pub mod protocols;
+pub mod scenario;
 pub mod sim;
 pub mod workload;
 
 pub use hintstream::HintStream;
-pub use protocols::{Charm, HintAware, RapidSample, RateAdapter, Rbar, Rraa, SampleRate};
+pub use protocols::{
+    Charm, HintAware, ProtocolParams, ProtocolRegistry, RapidSample, RateAdapter, Rbar, Rraa,
+    SampleRate,
+};
+pub use scenario::{
+    EnvironmentSpec, HintSpec, MotionSpec, ProtocolSpec, Scenario, ScenarioBuilder, ScenarioError,
+    ScenarioOutcome, ScenarioSpec,
+};
 pub use sim::{LinkSimulator, SimResult};
 pub use workload::Workload;

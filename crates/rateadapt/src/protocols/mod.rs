@@ -4,6 +4,7 @@ mod charm;
 mod hintaware;
 mod rapidsample;
 mod rbar;
+pub mod registry;
 mod rraa;
 mod samplerate;
 
@@ -11,6 +12,7 @@ pub use charm::Charm;
 pub use hintaware::HintAware;
 pub use rapidsample::RapidSample;
 pub use rbar::Rbar;
+pub use registry::{AdapterFactory, ProtocolParams, ProtocolRegistry};
 pub use rraa::Rraa;
 pub use samplerate::SampleRate;
 
@@ -24,6 +26,50 @@ use hint_sim::SimTime;
 /// additionally receive per-packet SNR feedback (the paper "assumed that
 /// the sender has up-to-date knowledge about the receiver SNR", Sec. 3.4),
 /// and hint-aware protocols receive movement hints via the hint protocol.
+///
+/// The trait is object-safe: simulators take `&mut dyn RateAdapter` and
+/// the [`registry::ProtocolRegistry`] hands adapters around as
+/// `Box<dyn RateAdapter>`, so custom protocols plug into every
+/// spec-driven experiment without touching this crate.
+///
+/// # Example: a custom adapter through the registry
+///
+/// A minimal fixed-rate adapter, registered by name and run through the
+/// [`crate::scenario`] front door like any built-in protocol:
+///
+/// ```
+/// use hint_mac::BitRate;
+/// use hint_rateadapt::protocols::{ProtocolRegistry, RateAdapter};
+/// use hint_rateadapt::scenario::ScenarioBuilder;
+/// use hint_sim::{SimDuration, SimTime};
+///
+/// /// Always transmits at 6 Mbit/s.
+/// struct Fixed6;
+///
+/// impl RateAdapter for Fixed6 {
+///     fn name(&self) -> &'static str {
+///         "Fixed6"
+///     }
+///     fn pick_rate(&mut self, _now: SimTime) -> BitRate {
+///         BitRate::R6
+///     }
+///     fn report(&mut self, _now: SimTime, _rate: BitRate, _ok: bool) {}
+///     fn reset(&mut self, _now: SimTime) {}
+/// }
+///
+/// let mut registry = ProtocolRegistry::builtin();
+/// registry.register("fixed-6", |_params| Box::new(Fixed6));
+///
+/// let outcome = ScenarioBuilder::new()
+///     .duration(SimDuration::from_secs(2))
+///     .seed(7)
+///     .protocol("fixed-6")
+///     .build_with(&registry)
+///     .expect("valid scenario")
+///     .run();
+/// assert_eq!(outcome.protocol, "fixed-6");
+/// assert!(outcome.result.goodput_bps > 0.0);
+/// ```
 pub trait RateAdapter {
     /// Short name used in result tables.
     fn name(&self) -> &'static str;

@@ -21,13 +21,18 @@ use crate::workload::{TcpConfig, Workload};
 use hint_channel::Trace;
 use hint_mac::{BitRate, MacTiming};
 use hint_sim::{RngStream, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::cell::RefCell;
 
 /// Standard deviation of per-packet SNR measurement noise, dB.
 pub const SNR_MEASUREMENT_NOISE_DB: f64 = 2.0;
 
 /// Result of one simulated run.
-#[derive(Clone, Debug)]
+///
+/// Serializable so scenario outcomes are storable artifacts (see
+/// [`crate::scenario::ScenarioOutcome`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Packets handed to the link (TCP: segments; UDP: datagrams).
     pub packets_sent: u64,
@@ -62,11 +67,19 @@ impl SimResult {
 }
 
 /// The trace-driven link simulator.
+///
+/// The simulator either **borrows** its trace and hint stream (the
+/// classic [`LinkSimulator::new`] / [`LinkSimulator::with_hints`] path,
+/// zero-copy for sweeps that run many adapters over one trace) or
+/// **owns** them ([`LinkSimulator::from_trace`] /
+/// [`LinkSimulator::with_owned_hints`], yielding a self-contained
+/// `LinkSimulator<'static>` that a [`crate::scenario::Scenario`] can
+/// carry across threads without tethering a borrow).
 pub struct LinkSimulator<'a> {
-    trace: &'a Trace,
+    trace: Cow<'a, Trace>,
     timing: MacTiming,
     payload_bytes: u32,
-    hints: Option<&'a HintStream>,
+    hints: Option<Cow<'a, HintStream>>,
     /// Per-rate successful-exchange airtime for `payload_bytes`, hoisted
     /// out of the per-attempt loop (the symbol-packing arithmetic is pure
     /// in (rate, payload), and a 10 s trace makes tens of thousands of
@@ -79,16 +92,30 @@ pub struct LinkSimulator<'a> {
 }
 
 impl<'a> LinkSimulator<'a> {
-    /// Simulator over `trace` with 1000-byte packets and no hint feed.
+    /// Simulator over a borrowed `trace` with 1000-byte packets and no
+    /// hint feed.
     pub fn new(trace: &'a Trace) -> Self {
+        Self::over(Cow::Borrowed(trace))
+    }
+
+    /// Simulator that **owns** `trace`, yielding a `'static` value that a
+    /// scenario (or a worker thread) can carry without a tethering borrow.
+    pub fn from_trace(trace: Trace) -> LinkSimulator<'static> {
+        LinkSimulator::over(Cow::Owned(trace))
+    }
+
+    fn over(trace: Cow<'a, Trace>) -> Self {
         let timing = MacTiming::ieee80211a();
+        // Placeholder state only: run() re-derives this stream from the
+        // trace seed on every call, so each run is independent.
+        let noise_rng = RefCell::new(RngStream::new(trace.seed).derive("link-noise"));
         LinkSimulator {
             trace,
             exchange_airtimes: Self::airtime_table(&timing, 1000),
             timing,
             payload_bytes: 1000,
             hints: None,
-            noise_rng: RefCell::new(RngStream::new(trace.seed).derive("link-noise")),
+            noise_rng,
         }
     }
 
@@ -102,7 +129,14 @@ impl<'a> LinkSimulator<'a> {
 
     /// Attach a movement-hint stream (enables hint-aware protocols).
     pub fn with_hints(mut self, hints: &'a HintStream) -> Self {
-        self.hints = Some(hints);
+        self.hints = Some(Cow::Borrowed(hints));
+        self
+    }
+
+    /// Attach an owned movement-hint stream (the self-contained path:
+    /// no borrow ties the simulator to the stream's storage).
+    pub fn with_owned_hints(mut self, hints: HintStream) -> Self {
+        self.hints = Some(Cow::Owned(hints));
         self
     }
 
@@ -113,8 +147,23 @@ impl<'a> LinkSimulator<'a> {
         self
     }
 
+    /// The trace this simulator replays.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The attached movement-hint stream, if any.
+    pub fn hint_stream(&self) -> Option<&HintStream> {
+        self.hints.as_deref()
+    }
+
     /// Run `adapter` over the whole trace under `workload`.
+    ///
+    /// Each call is an independent experiment: the per-packet noise
+    /// stream is re-seeded from the trace seed on entry, so running twice
+    /// on one simulator is bit-identical to two freshly constructed runs.
     pub fn run(&self, adapter: &mut dyn RateAdapter, workload: Workload) -> SimResult {
+        *self.noise_rng.borrow_mut() = RngStream::new(self.trace.seed).derive("link-noise");
         match workload {
             Workload::Udp => self.run_udp(adapter),
             Workload::Tcp(cfg) => self.run_tcp(adapter, cfg),
@@ -132,7 +181,7 @@ impl<'a> LinkSimulator<'a> {
     /// speeds a preamble-based SNR estimate is close to useless, which is
     /// why the SNR-based protocols trail RapidSample by ~2x in Fig. 3-8.
     fn feedback(&self, adapter: &mut dyn RateAdapter, now: SimTime) {
-        if let Some(h) = self.hints {
+        if let Some(h) = &self.hints {
             adapter.report_movement_hint(now, h.query(now));
         }
         let stale = now.saturating_since(SimTime::ZERO + hint_channel::SLOT_DURATION);

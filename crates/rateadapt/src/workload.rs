@@ -10,9 +10,10 @@
 //! simulating a full stack.
 
 use hint_sim::SimDuration;
+use serde::{Deserialize, Serialize};
 
 /// Parameters of the lightweight TCP model.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TcpConfig {
     /// Round-trip time budget per congestion window (LAN-scale).
     pub rtt: SimDuration,
@@ -39,7 +40,10 @@ impl Default for TcpConfig {
 }
 
 /// A traffic workload driving the link simulator.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// Serializes for [`crate::scenario::ScenarioSpec`]: `"Udp"` or
+/// `{"Tcp": {...}}` in JSON.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Workload {
     /// Saturated UDP: back-to-back packets, one link attempt each,
     /// goodput = delivered fraction.

@@ -4,32 +4,40 @@
 //! its neighbour alternates between static and mobile. We compare three
 //! probing strategies — always-slow, always-fast, and the paper's
 //! hint-adaptive prober — on estimate accuracy *and* probe bandwidth.
+//! The trace and the sensor-pipeline hint stream both come from one
+//! compiled `Scenario`.
 //!
 //! ```text
 //! cargo run --release --example mesh_probing
 //! ```
 
-use sensor_hints::channel::{Environment, Trace};
 use sensor_hints::mac::BitRate;
-use sensor_hints::rateadapt::HintStream;
-use sensor_hints::sensors::MotionProfile;
+use sensor_hints::rateadapt::scenario::{EnvironmentSpec, MotionSpec, ScenarioBuilder};
 use sensor_hints::sim::SimDuration;
 use sensor_hints::topology::adaptive::{fixed_rate_run, AdaptiveProber};
 use sensor_hints::topology::delivery::{actual_series, held_tracking_error};
 use sensor_hints::topology::ProbeStream;
 
 fn main() {
-    let profile = MotionProfile::alternating(SimDuration::from_secs(15), 3);
-    let duration = profile.duration();
-    let env = Environment::mesh_edge();
+    let scenario = ScenarioBuilder::new()
+        .environment(EnvironmentSpec::MeshEdge)
+        .motion_sized(MotionSpec::Alternating {
+            each: SimDuration::from_secs(15),
+            n_pairs: 3,
+        })
+        .seed(99)
+        .sensor_hints_seeded(0x99)
+        .build()
+        .expect("valid mesh-probing scenario");
+    let duration = scenario.spec().duration;
     println!(
         "Mesh link '{}', {} alternating static/mobile neighbour",
-        env.name, duration
+        scenario.environment().name,
+        duration
     );
 
-    let trace = Trace::generate(&env, &profile, duration, 99);
-    let stream = ProbeStream::from_trace(&trace, BitRate::R6, 99);
-    let hints = HintStream::from_sensors(&profile, duration, 0x99);
+    let stream = ProbeStream::from_trace(scenario.trace(), BitRate::R6, 99);
+    let hints = scenario.hints().expect("sensor hints configured");
     let actual = actual_series(&stream);
     let step = SimDuration::from_millis(100);
 

@@ -3,29 +3,42 @@
 //! still in front of product displays and moving between aisles, all the
 //! while streaming through the in-store network."
 //!
-//! We build exactly that motion pattern, generate a channel trace, and race
-//! all six rate-adaptation protocols over it, with hints produced by the
-//! real sensor pipeline. Run with:
+//! We describe exactly that experiment as one `ScenarioBuilder` chain —
+//! motion pattern, environment, workload, sensor-pipeline hints — then
+//! race all six rate-adaptation protocols over the compiled scenario.
+//! Run with:
 //!
 //! ```text
 //! cargo run --release --example supermarket
 //! ```
 
-use sensor_hints::channel::{Environment, Trace};
 use sensor_hints::rateadapt::evaluate::ProtocolKind;
-use sensor_hints::rateadapt::{HintStream, LinkSimulator, Workload};
-use sensor_hints::sensors::MotionProfile;
+use sensor_hints::rateadapt::scenario::{MotionSpec, ScenarioBuilder};
+use sensor_hints::rateadapt::Workload;
 use sensor_hints::sim::SimDuration;
 
 fn main() {
-    // Six aisles: 8 s browsing + 8 s walking, repeated.
-    let profile = MotionProfile::alternating(SimDuration::from_secs(8), 6);
-    let duration = profile.duration();
-    let env = Environment::office();
+    // Six aisles: 8 s browsing + 8 s walking, repeated. `motion_sized`
+    // derives the scenario duration from the motion pattern.
+    let seed = 1u64;
+    let scenario = ScenarioBuilder::new()
+        .motion_sized(MotionSpec::Alternating {
+            each: SimDuration::from_secs(8),
+            n_pairs: 6,
+        })
+        .seed(seed)
+        .workload(Workload::tcp())
+        // Hints from the full synthetic-accelerometer + jerk-detector
+        // pipeline: real detection latency included.
+        .sensor_hints_seeded(seed ^ 0xA15)
+        .build()
+        .expect("valid supermarket scenario");
+    let duration = scenario.spec().duration;
 
     println!(
         "Supermarket run: {} of alternating browse/walk in '{}'",
-        duration, env.name
+        duration,
+        scenario.environment().name
     );
     println!();
     println!(
@@ -34,25 +47,17 @@ fn main() {
     );
 
     let mut results: Vec<(&str, f64)> = Vec::new();
-    for seed in [1u64] {
-        let trace = Trace::generate(&env, &profile, duration, seed);
-        // Hints from the full synthetic-accelerometer + jerk-detector
-        // pipeline: real detection latency included.
-        let hints = HintStream::from_sensors(&profile, duration, seed ^ 0xA15);
-        for kind in ProtocolKind::ALL {
-            let mut adapter = kind.build(SimDuration::from_secs(10));
-            let r = LinkSimulator::new(&trace)
-                .with_hints(&hints)
-                .run(adapter.as_mut(), Workload::tcp());
-            println!(
-                "{:<12} {:>14.2} {:>12} {:>10}",
-                kind.name(),
-                r.goodput_mbps(),
-                r.packets_delivered,
-                r.attempts
-            );
-            results.push((kind.name(), r.goodput_bps));
-        }
+    for kind in ProtocolKind::ALL {
+        let mut adapter = kind.build(SimDuration::from_secs(10));
+        let r = scenario.run_with(adapter.as_mut());
+        println!(
+            "{:<12} {:>14.2} {:>12} {:>10}",
+            kind.name(),
+            r.goodput_mbps(),
+            r.packets_delivered,
+            r.attempts
+        );
+        results.push((kind.name(), r.goodput_bps));
     }
 
     let hint = results

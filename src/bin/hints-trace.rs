@@ -11,11 +11,19 @@
 //! ```
 //!
 //! Run via `cargo run --release --bin hints-trace -- <args>`.
+//!
+//! Trace generation goes through the Scenario API (`ScenarioBuilder` +
+//! `MotionSpec`). One behavioural note: `--motion mixed` now splits the
+//! duration exactly in half at microsecond precision, so an *odd*
+//! `--secs` yields halves of `secs/2` fractional seconds rather than the
+//! old integer-second truncation (even `--secs` values are unchanged).
 
-use sensor_hints::channel::{Environment, Trace};
+use sensor_hints::channel::Trace;
 use sensor_hints::mac::BitRate;
-use sensor_hints::rateadapt::evaluate::ProtocolKind;
-use sensor_hints::rateadapt::{HintStream, LinkSimulator, Workload};
+use sensor_hints::rateadapt::scenario::{EnvironmentSpec, MotionSpec, ScenarioBuilder};
+use sensor_hints::rateadapt::{
+    HintStream, LinkSimulator, ProtocolParams, ProtocolRegistry, Workload,
+};
 use sensor_hints::sensors::MotionProfile;
 use sensor_hints::sim::SimDuration;
 use std::path::Path;
@@ -35,39 +43,19 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn env_by_name(name: &str) -> Option<Environment> {
+/// Map the CLI motion names onto [`MotionSpec`]s.
+fn motion_by_name(name: &str) -> Option<MotionSpec> {
     match name {
-        "office" => Some(Environment::office()),
-        "hallway" => Some(Environment::hallway()),
-        "outdoor" => Some(Environment::outdoor()),
-        "vehicular" => Some(Environment::vehicular()),
-        "mesh-edge" => Some(Environment::mesh_edge()),
-        _ => None,
-    }
-}
-
-fn motion_by_name(name: &str, secs: u64) -> Option<MotionProfile> {
-    let dur = SimDuration::from_secs(secs);
-    match name {
-        "static" => Some(MotionProfile::stationary(dur)),
-        "mobile" => Some(MotionProfile::walking(dur, 1.4, 90.0)),
-        "mixed" => Some(MotionProfile::half_and_half(
-            SimDuration::from_secs(secs / 2),
-            true,
-        )),
-        "vehicle" => Some(MotionProfile::vehicle(dur, 15.0, 0.0)),
-        _ => None,
-    }
-}
-
-fn protocol_by_name(name: &str) -> Option<ProtocolKind> {
-    match name.to_ascii_lowercase().as_str() {
-        "rapidsample" => Some(ProtocolKind::RapidSample),
-        "samplerate" => Some(ProtocolKind::SampleRate),
-        "rraa" => Some(ProtocolKind::Rraa),
-        "rbar" => Some(ProtocolKind::Rbar),
-        "charm" => Some(ProtocolKind::Charm),
-        "hintaware" => Some(ProtocolKind::HintAware),
+        "static" => Some(MotionSpec::Stationary),
+        "mobile" => Some(MotionSpec::Walking {
+            speed_mps: 1.4,
+            heading_deg: 90.0,
+        }),
+        "mixed" => Some(MotionSpec::HalfAndHalf { static_first: true }),
+        "vehicle" => Some(MotionSpec::Vehicle {
+            speed_mps: 15.0,
+            heading_deg: 0.0,
+        }),
         _ => None,
     }
 }
@@ -88,15 +76,27 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         eprintln!("bad --secs {secs_s}");
         return ExitCode::from(2);
     };
-    let Some(env) = env_by_name(&env_s) else {
+    let Some(env) = EnvironmentSpec::from_name(&env_s) else {
         eprintln!("unknown environment {env_s}");
         return ExitCode::from(2);
     };
-    let Some(profile) = motion_by_name(&motion_s, secs) else {
+    let Some(motion) = motion_by_name(&motion_s) else {
         eprintln!("unknown motion {motion_s}");
         return ExitCode::from(2);
     };
-    let trace = Trace::generate(&env, &profile, SimDuration::from_secs(secs), seed);
+    let trace = match ScenarioBuilder::new()
+        .environment(env)
+        .motion(motion)
+        .duration(SimDuration::from_secs(secs))
+        .seed(seed)
+        .build_trace()
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("invalid scenario: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if let Err(e) = trace.save(Path::new(&out)) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -151,14 +151,17 @@ fn workload_of(args: &[String]) -> Workload {
     }
 }
 
-/// Replay one protocol over a loaded trace, using ground-truth-with-
-/// detector-latency hints derived from the trace's own movement flags.
-fn replay(trace: &Trace, kind: ProtocolKind, workload: Workload) -> f64 {
+/// Replay one registered protocol over a loaded trace, using ground-
+/// truth-with-detector-latency hints derived from the trace's own
+/// movement flags.
+fn replay(trace: &Trace, protocol: &str, workload: Workload) -> f64 {
     // Rebuild a hint stream from the trace's stored ground truth with a
     // 100 ms oracle latency (the detector's measured class).
     let profile = profile_from_trace(trace);
     let hints = HintStream::oracle(&profile, trace.duration(), SimDuration::from_millis(100));
-    let mut adapter = kind.build(SimDuration::from_secs(10));
+    let mut adapter = ProtocolRegistry::builtin_shared()
+        .build(protocol, &ProtocolParams::default())
+        .expect("caller resolved the protocol name");
     LinkSimulator::new(trace)
         .with_hints(&hints)
         .run(adapter.as_mut(), workload)
@@ -203,12 +206,19 @@ fn cmd_replay(path: &str, args: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(c) => return c,
     };
-    let Some(kind) = flag(args, "--protocol").and_then(|p| protocol_by_name(&p)) else {
-        eprintln!("--protocol required (rapidsample|samplerate|rraa|rbar|charm|hintaware)");
+    let registry = ProtocolRegistry::builtin_shared();
+    let Some(name) = flag(args, "--protocol")
+        .and_then(|p| registry.canonical_name(&p))
+        .map(str::to_string)
+    else {
+        eprintln!(
+            "--protocol required (one of: {})",
+            registry.names().join("|").to_ascii_lowercase()
+        );
         return ExitCode::from(2);
     };
-    let goodput = replay(&trace, kind, workload_of(args));
-    println!("{}: {:.2} Mbit/s", kind.name(), goodput / 1e6);
+    let goodput = replay(&trace, &name, workload_of(args));
+    println!("{name}: {:.2} Mbit/s", goodput / 1e6);
     ExitCode::SUCCESS
 }
 
@@ -219,9 +229,9 @@ fn cmd_compare(path: &str, args: &[String]) -> ExitCode {
     };
     let workload = workload_of(args);
     println!("{:<12} {:>12}", "protocol", "Mbit/s");
-    for kind in ProtocolKind::ALL {
-        let goodput = replay(&trace, kind, workload);
-        println!("{:<12} {:>12.2}", kind.name(), goodput / 1e6);
+    for name in ProtocolRegistry::builtin_shared().names() {
+        let goodput = replay(&trace, name, workload);
+        println!("{name:<12} {:>12.2}", goodput / 1e6);
     }
     ExitCode::SUCCESS
 }

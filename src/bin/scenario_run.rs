@@ -1,0 +1,119 @@
+//! `scenario_run` — execute a JSON [`ScenarioSpec`] file from the command
+//! line.
+//!
+//! The spec file is the whole experiment: environment × motion × duration
+//! × seed × workload × protocol-by-name × hint configuration. New
+//! scenarios therefore need zero new Rust — write a JSON file and run it:
+//!
+//! ```text
+//! scenario_run scenarios/mixed_office_tcp.json
+//! scenario_run scenarios/vehicular_udp.json --json
+//! ```
+//!
+//! Spec-driven runs are bit-identical to the equivalent hand-coded
+//! builder runs (same seeds ⇒ same `SimResult`); the schema is documented
+//! in EXPERIMENTS.md ("Scenario spec files").
+
+use sensor_hints::mac::BitRate;
+use sensor_hints::rateadapt::scenario::ScenarioSpec;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: scenario_run <spec.json> [--json]\n\
+       <spec.json>  a ScenarioSpec file (schema: EXPERIMENTS.md)\n\
+       --json       print the full ScenarioOutcome as JSON instead of\n\
+                    the human-readable summary";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => {
+                eprintln!("scenario_run: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("scenario_run: missing spec file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let spec = match ScenarioSpec::load(Path::new(path)) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("scenario_run: cannot load {path}: {e}");
+            // Malformed spec content is the same user-error class as a
+            // spec that fails validation: exit 2. Everything else
+            // (missing file, permissions) is an environment failure.
+            return if e.kind() == std::io::ErrorKind::InvalidData {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    let scenario = match spec.compile() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scenario_run: invalid spec {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = scenario.run();
+
+    if json {
+        println!("{}", outcome.to_json_pretty());
+        return ExitCode::SUCCESS;
+    }
+
+    println!("scenario    : {path}");
+    println!("environment : {}", outcome.environment);
+    println!("protocol    : {}", outcome.protocol);
+    println!("workload    : {:?}", spec.workload);
+    println!("duration    : {}", spec.duration);
+    println!("seed        : {}", spec.seed);
+    println!();
+    let r = &outcome.result;
+    println!("goodput     : {:.2} Mbit/s", outcome.goodput_mbps());
+    println!(
+        "delivery    : {}/{} packets ({:.1}% of {} attempts)",
+        r.packets_delivered,
+        r.packets_sent,
+        100.0 * outcome.delivery_ratio(),
+        r.attempts
+    );
+    println!("rate usage  :");
+    for &rate in &BitRate::ALL {
+        let n = r.rate_usage[rate.index()];
+        if n > 0 {
+            println!("  {:>7}: {n}", rate.to_string());
+        }
+    }
+    let series = &r.delivered_per_second;
+    if !series.is_empty() {
+        let max = *series.iter().max().unwrap_or(&1) as f64;
+        println!("delivered/s :");
+        for (sec, &n) in series.iter().enumerate() {
+            let filled = if max > 0.0 {
+                ((n as f64 / max) * 40.0).round() as usize
+            } else {
+                0
+            };
+            println!(
+                "  {sec:>4}  {n:>6}  |{}{}|",
+                "#".repeat(filled),
+                " ".repeat(40 - filled)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -11,11 +11,11 @@
 use sensor_hints::ap::association::{choose_ap, ApCandidate, AssociationPolicy, ClientMotion};
 use sensor_hints::ap::disassociation::{fig_5_1_scenario, DisassociationPolicy, FairnessModel};
 use sensor_hints::ap::scheduler::{simulate_two_client_schedule, SchedulePolicy};
-use sensor_hints::channel::{Environment, Trace};
 use sensor_hints::device::HintedDevice;
 use sensor_hints::mac::BitRate;
 use sensor_hints::rateadapt::evaluate::ProtocolKind;
-use sensor_hints::rateadapt::{HintStream, LinkSimulator, Workload};
+use sensor_hints::rateadapt::scenario::{EnvironmentSpec, MotionSpec, ScenarioBuilder};
+use sensor_hints::rateadapt::Workload;
 use sensor_hints::sensors::gps::Position;
 use sensor_hints::sensors::MotionProfile;
 use sensor_hints::sim::{RngStream, SimDuration, SimTime};
@@ -41,19 +41,23 @@ fn quickstart_scenario_constructs() {
 }
 
 /// `examples/supermarket.rs`: every protocol simulates the shopper's
-/// mixed-mobility TCP session.
+/// mixed-mobility TCP session through one compiled scenario.
 #[test]
 fn supermarket_scenario_constructs() {
-    let profile = MotionProfile::alternating(SimDuration::from_secs(2), 2);
-    let duration = profile.duration();
-    let env = Environment::office();
-    let trace = Trace::generate(&env, &profile, duration, 1);
-    let hints = HintStream::from_sensors(&profile, duration, 1 ^ 0xA15);
+    let scenario = ScenarioBuilder::new()
+        .motion_sized(MotionSpec::Alternating {
+            each: SimDuration::from_secs(2),
+            n_pairs: 2,
+        })
+        .seed(1)
+        .workload(Workload::tcp())
+        .sensor_hints_seeded(1 ^ 0xA15)
+        .build()
+        .expect("valid supermarket scenario");
+    let duration = scenario.spec().duration;
     for kind in ProtocolKind::ALL {
         let mut adapter = kind.build(SimDuration::from_secs(10));
-        let r = LinkSimulator::new(&trace)
-            .with_hints(&hints)
-            .run(adapter.as_mut(), Workload::tcp());
+        let r = scenario.run_with(adapter.as_mut());
         assert!(
             r.attempts > 0,
             "{} attempted nothing over {duration}",
@@ -62,15 +66,22 @@ fn supermarket_scenario_constructs() {
     }
 }
 
-/// `examples/mesh_probing.rs`: probing strategies over one mesh-edge trace.
+/// `examples/mesh_probing.rs`: probing strategies over one mesh-edge
+/// scenario's trace and hint stream.
 #[test]
 fn mesh_probing_scenario_constructs() {
-    let profile = MotionProfile::alternating(SimDuration::from_secs(5), 2);
-    let duration = profile.duration();
-    let env = Environment::mesh_edge();
-    let trace = Trace::generate(&env, &profile, duration, 99);
-    let stream = ProbeStream::from_trace(&trace, BitRate::R6, 99);
-    let hints = HintStream::from_sensors(&profile, duration, 0x99);
+    let scenario = ScenarioBuilder::new()
+        .environment(EnvironmentSpec::MeshEdge)
+        .motion_sized(MotionSpec::Alternating {
+            each: SimDuration::from_secs(5),
+            n_pairs: 2,
+        })
+        .seed(99)
+        .sensor_hints_seeded(0x99)
+        .build()
+        .expect("valid mesh-probing scenario");
+    let stream = ProbeStream::from_trace(scenario.trace(), BitRate::R6, 99);
+    let hints = scenario.hints().expect("sensor hints configured");
     let actual = actual_series(&stream);
     assert!(!actual.is_empty(), "delivery series must be non-empty");
     let run = AdaptiveProber::new().run(&stream, |t| hints.query(t));
