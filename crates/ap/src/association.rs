@@ -50,15 +50,26 @@ pub enum AssociationPolicy {
 /// Predicted time (seconds) the client remains inside the AP's coverage
 /// disk on its current course. Infinite for a static client already in
 /// coverage; zero if already outside.
+///
+/// Total over all `f64` inputs: non-finite positions or coverage score
+/// as "outside" (0.0), and a non-finite heading or speed degrades to the
+/// static prediction — the scoring a scan loop runs on live sensor data
+/// must never panic or emit NaN.
 pub fn predicted_dwell_s(ap: &ApCandidate, client: &ClientMotion) -> f64 {
     let dx = client.position.x - ap.position.x;
     let dy = client.position.y - ap.position.y;
     let dist2 = dx * dx + dy * dy;
     let r2 = ap.coverage_m * ap.coverage_m;
-    if dist2 > r2 {
+    // Written so NaN geometry lands in the "outside coverage" arm (a
+    // NaN comparison is false) instead of reaching the ray
+    // intersection, and a NaN speed or heading degrades to the static
+    // prediction.
+    let inside = dist2 <= r2;
+    if !inside {
         return 0.0;
     }
-    if !client.moving || client.speed_mps < 0.05 {
+    let moving_fast = client.speed_mps >= 0.05;
+    if !client.moving || !moving_fast || !client.heading_deg.is_finite() {
         return f64::INFINITY;
     }
     // Ray–circle intersection: position p + t·v, |p + t·v|² = r².
@@ -73,7 +84,11 @@ pub fn predicted_dwell_s(ap: &ApCandidate, client: &ClientMotion) -> f64 {
         return 0.0;
     }
     let t = (-b + disc.sqrt()) / (2.0 * a);
-    t.max(0.0)
+    if t.is_finite() {
+        t.max(0.0)
+    } else {
+        0.0
+    }
 }
 
 /// Choose an AP from `candidates` under `policy`. Returns `None` when the
@@ -86,23 +101,47 @@ pub fn choose_ap(
     match policy {
         AssociationPolicy::StrongestSignal => candidates
             .iter()
-            .max_by(|a, b| a.rssi_dbm.partial_cmp(&b.rssi_dbm).expect("finite rssi"))
+            // total_cmp, not partial_cmp: a NaN RSSI from a corrupt scan
+            // entry must not panic the scan loop (NaN sorts above +inf in
+            // the IEEE total order, so such an entry can win — selection
+            // stays total and deterministic either way).
+            .max_by(|a, b| a.rssi_dbm.total_cmp(&b.rssi_dbm))
             .map(|ap| ap.id),
         AssociationPolicy::HintAware => {
             // Score by predicted dwell; break ties (e.g. two static-client
-            // infinities) by signal strength.
+            // infinities) by signal strength. `predicted_dwell_s` is total
+            // (never NaN), so total_cmp == partial_cmp on its outputs.
             candidates
                 .iter()
                 .filter(|ap| predicted_dwell_s(ap, client) > 0.0)
                 .max_by(|a, b| {
                     let da = predicted_dwell_s(a, client);
                     let db = predicted_dwell_s(b, client);
-                    da.partial_cmp(&db)
-                        .expect("finite dwell")
-                        .then(a.rssi_dbm.partial_cmp(&b.rssi_dbm).expect("finite rssi"))
+                    da.total_cmp(&db).then(a.rssi_dbm.total_cmp(&b.rssi_dbm))
                 })
                 .map(|ap| ap.id)
         }
+    }
+}
+
+/// Hysteresis-gated handoff decision: switch from the association scored
+/// `current` to a candidate scored `candidate` only when the candidate
+/// clears the current score by more than `margin` (score units: dB for a
+/// signal policy, seconds of predicted dwell for the hint policy).
+///
+/// `None` for `current` means the client is unassociated (or its AP has
+/// fallen out of range): any meaningfully scored candidate is taken —
+/// even a weak link beats no link. (Signal-policy scores are negative
+/// dBm, so the bar here is "not NaN", not "positive".)
+///
+/// Total and ping-pong-free by construction: for any scores and any
+/// `margin >= 0`, `should_handoff(a, b)` and `should_handoff(b, a)`
+/// cannot both be true (NaN scores never justify a switch), so a scan
+/// loop applying it repeatedly to an unchanged scan cannot oscillate.
+pub fn should_handoff(current: Option<f64>, candidate: f64, margin: f64) -> bool {
+    match current {
+        None => !candidate.is_nan(),
+        Some(cur) => candidate > cur + margin.max(0.0),
     }
 }
 
@@ -214,6 +253,52 @@ mod tests {
         let c = walking_east(0.0, 0.0);
         assert_eq!(choose_ap(&[], &c, AssociationPolicy::HintAware), None);
         assert_eq!(choose_ap(&[], &c, AssociationPolicy::StrongestSignal), None);
+    }
+
+    #[test]
+    fn scoring_is_total_on_degenerate_inputs() {
+        // NaN geometry: outside-coverage arm, never NaN out.
+        let mut bad = ap(0, f64::NAN, 0.0, -50.0);
+        let c = walking_east(0.0, 0.0);
+        assert_eq!(predicted_dwell_s(&bad, &c), 0.0);
+        bad.position.x = 0.0;
+        bad.coverage_m = f64::NAN;
+        assert_eq!(predicted_dwell_s(&bad, &c), 0.0);
+        // NaN heading/speed on a covered client: static prediction.
+        let a = ap(0, 10.0, 0.0, -40.0);
+        let mut weird = walking_east(0.0, 0.0);
+        weird.heading_deg = f64::NAN;
+        assert_eq!(predicted_dwell_s(&a, &weird), f64::INFINITY);
+        weird.heading_deg = 90.0;
+        weird.speed_mps = f64::NAN;
+        assert_eq!(predicted_dwell_s(&a, &weird), f64::INFINITY);
+        // NaN RSSI must not panic selection under either policy.
+        let nan_rssi = ApCandidate {
+            rssi_dbm: f64::NAN,
+            ..a
+        };
+        for policy in [
+            AssociationPolicy::StrongestSignal,
+            AssociationPolicy::HintAware,
+        ] {
+            assert!(choose_ap(&[a, nan_rssi], &walking_east(0.0, 0.0), policy).is_some());
+        }
+    }
+
+    #[test]
+    fn handoff_hysteresis_is_stable() {
+        // A 3 dB margin: -58 does not displace -60, -56 does.
+        assert!(!should_handoff(Some(-60.0), -58.0, 3.0));
+        assert!(should_handoff(Some(-60.0), -56.0, 3.0));
+        // Unassociated: any non-NaN candidate beats no link.
+        assert!(should_handoff(None, -89.0, 3.0));
+        assert!(!should_handoff(None, f64::NAN, 3.0));
+        // Two static clients both dwelling forever never ping-pong.
+        assert!(!should_handoff(Some(f64::INFINITY), f64::INFINITY, 0.0));
+        // No pair of scores can justify a switch in both directions.
+        for (a, b) in [(-60.0, -56.0), (10.0, 10.0), (0.0, f64::INFINITY)] {
+            assert!(!(should_handoff(Some(a), b, 1.0) && should_handoff(Some(b), a, 1.0)));
+        }
     }
 
     #[test]

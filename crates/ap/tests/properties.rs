@@ -1,11 +1,13 @@
 //! Property-based tests for AP policies.
 
 use hint_ap::association::{
-    choose_ap, predicted_dwell_s, ApCandidate, AssociationPolicy, ClientMotion,
+    choose_ap, predicted_dwell_s, should_handoff, ApCandidate, AssociationPolicy, ClientMotion,
 };
+use hint_ap::disassociation::{ApSimulator, ClientConfig, DisassociationPolicy, FairnessModel};
 use hint_ap::scheduler::{simulate_two_client_schedule, SchedulePolicy};
 use hint_mac::BitRate;
 use hint_sensors::gps::Position;
+use hint_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn client(x: f64, y: f64, heading: f64, speed: f64) -> ClientMotion {
@@ -92,5 +94,134 @@ proptest! {
         if window == 0.0 {
             prop_assert_eq!(fav.mobile_delivered, 0);
         }
+    }
+}
+
+/// Replace a sampled float with a degenerate value on some tags, so the
+/// totality properties cover NaN/±inf (the shim's `any::<f64>()` only
+/// produces finite values).
+fn degenerate(v: f64, tag: usize) -> f64 {
+    match tag {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => v,
+    }
+}
+
+proptest! {
+    /// Association scoring is total: for ANY float inputs — including
+    /// NaN and ±inf in positions, coverage, RSSI, heading, and speed —
+    /// `predicted_dwell_s` returns a non-NaN, non-negative value and
+    /// `choose_ap` returns an id from the list (or None) without
+    /// panicking, under both policies.
+    #[test]
+    fn association_scoring_is_total(
+        raw in proptest::collection::vec(any::<f64>(), 12..13),
+        tags in proptest::collection::vec(0usize..10, 12..13),
+    ) {
+        let v: Vec<f64> = raw
+            .iter()
+            .zip(&tags)
+            .map(|(&x, &t)| degenerate(x, t))
+            .collect();
+        let candidates = [
+            ApCandidate {
+                id: 0,
+                position: Position { x: v[0], y: v[1] },
+                rssi_dbm: v[2],
+                coverage_m: v[3],
+            },
+            ApCandidate {
+                id: 1,
+                position: Position { x: v[4], y: v[5] },
+                rssi_dbm: v[6],
+                coverage_m: v[7],
+            },
+        ];
+        let c = ClientMotion {
+            position: Position { x: v[8], y: v[9] },
+            moving: tags[11] % 2 == 0,
+            heading_deg: v[10],
+            speed_mps: v[11],
+        };
+        for ap in &candidates {
+            let d = predicted_dwell_s(ap, &c);
+            prop_assert!(!d.is_nan(), "dwell NaN for {ap:?} / {c:?}");
+            prop_assert!(d >= 0.0, "dwell negative: {d}");
+        }
+        for policy in [AssociationPolicy::StrongestSignal, AssociationPolicy::HintAware] {
+            if let Some(id) = choose_ap(&candidates, &c, policy) {
+                prop_assert!(id < 2);
+            }
+        }
+    }
+
+    /// Handoff hysteresis is stable: for any pair of scores and any
+    /// non-negative margin, a switch is never justified in both
+    /// directions (no ping-pong on an unchanged scan), and the decision
+    /// is total (never panics, NaN candidates never win).
+    #[test]
+    fn handoff_decisions_are_hysteresis_stable(
+        a in any::<f64>(), b in any::<f64>(),
+        margin in 0.0f64..20.0,
+        tag_a in 0usize..8, tag_b in 0usize..8,
+    ) {
+        let (a, b) = (degenerate(a, tag_a), degenerate(b, tag_b));
+        let ab = should_handoff(Some(a), b, margin);
+        let ba = should_handoff(Some(b), a, margin);
+        prop_assert!(!(ab && ba), "ping-pong between {a} and {b} at margin {margin}");
+        if b.is_nan() {
+            prop_assert!(!ab, "NaN candidate must never win");
+            prop_assert!(!should_handoff(None, b, margin));
+        } else {
+            prop_assert!(should_handoff(None, b, margin), "any real link beats no link");
+        }
+    }
+
+    /// The AP disassociation simulator is total over its scenario space:
+    /// any mix of resident/departing/hinting clients, fairness model,
+    /// policy and seed runs to completion with per-second series of the
+    /// right length and no delivery after a client departs.
+    #[test]
+    fn ap_simulator_runs_any_scenario(
+        seed in any::<u64>(),
+        depart_s in 1u64..15,
+        hinting in any::<bool>(),
+        frame_fair in any::<bool>(),
+        hint_policy in any::<bool>(),
+    ) {
+        let policy = if hint_policy {
+            DisassociationPolicy::HintAware { probe_interval: SimDuration::from_secs(1) }
+        } else {
+            DisassociationPolicy::Timeout { prune_after: SimDuration::from_secs(5) }
+        };
+        let fairness = if frame_fair {
+            FairnessModel::FrameLevel
+        } else {
+            FairnessModel::TimeBased
+        };
+        let departing = if hinting {
+            ClientConfig::departing_with_hints(SimTime::from_secs(depart_s))
+        } else {
+            ClientConfig::departing(SimTime::from_secs(depart_s))
+        };
+        let secs = 16u64;
+        let r = ApSimulator::new(
+            fairness,
+            policy,
+            vec![ClientConfig::resident(), departing],
+            seed,
+        )
+        .run(SimDuration::from_secs(secs));
+        prop_assert_eq!(r.delivered_per_second.len(), 2);
+        for series in &r.delivered_per_second {
+            prop_assert_eq!(series.len(), secs as usize);
+        }
+        // The departed client delivers nothing once it is out of range.
+        let after: u64 = r.delivered_per_second[1][(depart_s as usize) + 1..]
+            .iter()
+            .sum();
+        prop_assert_eq!(after, 0, "departed client delivered after leaving");
     }
 }

@@ -106,11 +106,49 @@ fn bench_link_sim(c: &mut Criterion) {
     });
 }
 
+fn bench_fleet(c: &mut Criterion) {
+    // Two vehicular clients crossing two APs in 10 s: exercises the scan
+    // loop, handoff scoring, span slicing, and per-span link simulation —
+    // the whole fleet-engine hot path on a bench-sized fleet.
+    let spec = hint_rateadapt::fleet::FleetSpec::builder()
+        .bounds(200.0, 100.0)
+        .ap(40.0, 50.0, 65.0)
+        .ap(160.0, 50.0, 65.0)
+        .client(
+            5.0,
+            50.0,
+            hint_rateadapt::scenario::MotionSpec::Vehicle {
+                speed_mps: 15.0,
+                heading_deg: 90.0,
+            },
+            Workload::Udp,
+        )
+        .client(
+            195.0,
+            50.0,
+            hint_rateadapt::scenario::MotionSpec::Vehicle {
+                speed_mps: 15.0,
+                heading_deg: 270.0,
+            },
+            Workload::Udp,
+        )
+        .duration(SimDuration::from_secs(10))
+        .seed(11)
+        .handoff_policy("hint-etx")
+        .into_spec();
+    let fleet = sensor_hints::fleet::FleetScenario::compile(&spec).expect("valid bench fleet");
+
+    c.bench_function("fleet/run_10s_2c_2ap", |b| {
+        b.iter(|| black_box(fleet.run()));
+    });
+}
+
 criterion_group!(
     benches,
     bench_channel,
     bench_sensors,
     bench_protocols,
-    bench_link_sim
+    bench_link_sim,
+    bench_fleet
 );
 criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the multi-client fleet comparison (hint-aware
+//! association/handoff, Sec. 5.2 at fleet scale).
+fn main() {
+    hint_bench::fleet::run();
+}

@@ -1,0 +1,244 @@
+//! Fleet scenario — hint-aware association and handoff at multi-client
+//! scale (Sec. 5.2 taken fleet-wide).
+//!
+//! Four configurations of the same four-client, two-AP office floor are
+//! compared, isolating the two places hints help:
+//!
+//! 1. **legacy** — no hint pipeline at all, signal-strength handoff: the
+//!    walkers ride their APs out of coverage (forced handoffs), and each
+//!    silent departure costs the AP a Fig. 5-1-style 10 s of open-loop
+//!    ghost airtime.
+//! 2. **strongest-signal + hints** — the handoff policy still ignores
+//!    hints, but departing clients announce movement, so APs quarantine
+//!    them and ghost airtime collapses to occasional probes.
+//! 3. **hint-aware** — predicted-dwell handoff: walkers switch to the AP
+//!    ahead *before* losing the old one (no forced handoffs at all).
+//! 4. **hint-etx** — dwell scoring divided by the candidate link's ETX.
+//!
+//! The geometry (65 m coverage disks 120 m apart) is chosen so the 3 dB
+//! signal hysteresis cannot clear inside the overlap zone — exactly the
+//! regime where "the node's heading might provide an important clue
+//! about the best AP to associate with" (Sec. 5.2.1).
+
+use crate::report::Report;
+use crate::rline;
+use hint_rateadapt::fleet::{FleetOutcome, FleetSpec};
+use hint_rateadapt::scenario::{HintSpec, MotionSpec};
+use hint_rateadapt::Workload;
+use hint_sim::SimDuration;
+use sensor_hints::fleet::FleetScenario;
+
+/// The fleet every configuration shares — identical (bounds, APs,
+/// clients, duration, seed) to the checked-in
+/// `scenarios/fleet_office_walk.json`, which pins the spec-file run
+/// bit-identical to this builder.
+pub fn office_walk_fleet(policy: &str, hints: HintSpec) -> FleetSpec {
+    FleetSpec::builder()
+        .bounds(200.0, 100.0)
+        .ap(40.0, 50.0, 65.0)
+        .ap(160.0, 50.0, 65.0)
+        .client(
+            5.0,
+            50.0,
+            MotionSpec::Walking {
+                speed_mps: 1.6,
+                heading_deg: 90.0,
+            },
+            Workload::Udp,
+        )
+        .client(
+            195.0,
+            50.0,
+            MotionSpec::Walking {
+                speed_mps: 1.6,
+                heading_deg: 270.0,
+            },
+            Workload::tcp(),
+        )
+        .client(30.0, 40.0, MotionSpec::Stationary, Workload::Udp)
+        .client(
+            100.0,
+            60.0,
+            MotionSpec::HalfAndHalf { static_first: true },
+            Workload::Udp,
+        )
+        .duration(SimDuration::from_secs(90))
+        .seed(0xF1EE7)
+        .protocol("HintAware")
+        .handoff_policy(policy)
+        .hints(hints)
+        .into_spec()
+}
+
+/// The four configurations under comparison, in presentation order.
+pub fn configurations() -> Vec<(&'static str, FleetSpec)> {
+    vec![
+        (
+            "legacy (no hints, signal)",
+            office_walk_fleet("strongest-signal", HintSpec::None),
+        ),
+        (
+            "strongest-signal + hints",
+            office_walk_fleet("strongest-signal", HintSpec::Sensors { seed: None }),
+        ),
+        (
+            "hint-aware",
+            office_walk_fleet("hint-aware", HintSpec::Sensors { seed: None }),
+        ),
+        (
+            "hint-etx",
+            office_walk_fleet("hint-etx", HintSpec::Sensors { seed: None }),
+        ),
+    ]
+}
+
+/// Per-configuration summary, in [`configurations`] order.
+#[derive(Clone, Debug)]
+pub struct FleetComparison {
+    /// Outcomes keyed by configuration label.
+    pub outcomes: Vec<(&'static str, FleetOutcome)>,
+}
+
+impl FleetComparison {
+    /// The outcome for a configuration label.
+    pub fn get(&self, label: &str) -> &FleetOutcome {
+        &self
+            .outcomes
+            .iter()
+            .find(|(l, _)| *l == label)
+            .expect("known configuration label")
+            .1
+    }
+}
+
+/// Run the comparison and print it.
+pub fn run() -> FleetComparison {
+    let (r, res) = report();
+    r.print();
+    res
+}
+
+/// Run the comparison, returning its output as a [`Report`] plus the
+/// outcomes (the job-runner entry point).
+pub fn report() -> (Report, FleetComparison) {
+    let mut r = Report::new("fig_fleet");
+    r.header("Fleet: 4 clients x 2 APs, hint-aware association/handoff (Sec. 5.2)");
+
+    let outcomes: Vec<(&'static str, FleetOutcome)> = configurations()
+        .into_iter()
+        .map(|(label, spec)| {
+            let fleet = FleetScenario::compile(&spec).expect("battery fleet specs are valid");
+            (label, fleet.run())
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|(label, o)| {
+            let ghost: f64 = o.aps.iter().map(|a| a.wasted_airtime_s).sum();
+            vec![
+                (*label).to_string(),
+                format!("{:.2}", o.aggregate_goodput_mbps),
+                format!("{:.3}", o.jain_fairness),
+                format!("{}", o.total_handoffs),
+                format!("{}", o.forced_handoffs),
+                format!("{:.2}", o.total_outage().as_secs_f64()),
+                format!("{ghost:.2}"),
+            ]
+        })
+        .collect();
+    r.table(
+        &[
+            "configuration",
+            "aggregate Mbit/s",
+            "Jain",
+            "handoffs",
+            "forced",
+            "outage s",
+            "ghost airtime s",
+        ],
+        &rows,
+    );
+
+    r.blank();
+    let hint = outcomes
+        .iter()
+        .find(|(l, _)| *l == "hint-aware")
+        .map(|(_, o)| o);
+    if let Some(o) = hint {
+        for c in &o.clients {
+            let path: Vec<String> = c.aps_visited.iter().map(|a| format!("AP{a}")).collect();
+            rline!(
+                r,
+                "hint-aware client {}: {:>6.2} Mbit/s, {} handoffs, path {}",
+                c.client,
+                c.outcome.goodput_mbps(),
+                c.handoffs,
+                path.join(" -> ")
+            );
+        }
+    }
+    rline!(
+        r,
+        "\nClaim held: hints remove forced handoffs and collapse ghost airtime;"
+    );
+    rline!(
+        r,
+        "aggregate goodput orders legacy < signal+hints <= hint policies."
+    );
+
+    let res = FleetComparison { outcomes };
+    (r, res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds() {
+        let (_, cmp) = report();
+        let legacy = cmp.get("legacy (no hints, signal)");
+        let signal = cmp.get("strongest-signal + hints");
+        let hint = cmp.get("hint-aware");
+        let etx = cmp.get("hint-etx");
+
+        // Both walkers hand off between both APs in every configuration.
+        for o in [legacy, signal, hint, etx] {
+            for c in [0, 1] {
+                assert!(
+                    o.clients[c].aps_visited.len() >= 2,
+                    "{}: client {c} visited {:?}",
+                    o.policy,
+                    o.clients[c].aps_visited
+                );
+            }
+            assert!(o.total_handoffs >= 2);
+        }
+
+        // Hint-led handoff: the hint policies never lose coverage; the
+        // signal policy rides the old AP out of range.
+        assert_eq!(hint.forced_handoffs, 0, "hint-aware must pre-empt");
+        assert_eq!(etx.forced_handoffs, 0, "hint-etx must pre-empt");
+        assert!(signal.forced_handoffs >= 2, "signal policy is forced");
+        assert!(legacy.forced_handoffs >= 2);
+
+        // The Fig. 5-1 effect at fleet scale: silent departures cost the
+        // APs ~10 s of ghost airtime each; hinting clients get
+        // quarantined for a few probe frames instead.
+        let ghost = |o: &hint_rateadapt::fleet::FleetOutcome| -> f64 {
+            o.aps.iter().map(|a| a.wasted_airtime_s).sum()
+        };
+        assert!(ghost(legacy) > 10.0, "legacy ghost {}", ghost(legacy));
+        assert!(ghost(signal) < 1.0, "hinting ghost {}", ghost(signal));
+        assert_eq!(ghost(hint), 0.0);
+
+        // Hints help throughput end to end.
+        assert!(
+            hint.aggregate_goodput_mbps > legacy.aggregate_goodput_mbps,
+            "hint {} vs legacy {}",
+            hint.aggregate_goodput_mbps,
+            legacy.aggregate_goodput_mbps
+        );
+    }
+}

@@ -13,7 +13,7 @@
 
 use crate::report::Report;
 use crate::{ablations, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1};
-use crate::{fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, route_stability, table_5_1};
+use crate::{fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, fleet, route_stability, table_5_1};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
@@ -138,6 +138,11 @@ pub fn full_battery() -> Vec<Job> {
             || fig_5_1::report().0,
         ),
         Job::new(
+            "fig_fleet",
+            "Multi-client fleet: hint-aware association/handoff (Sec. 5.2)",
+            || fleet::report().0,
+        ),
+        Job::new(
             "ablation_delta_success",
             "RapidSample delta_success sweep (Sec. 3.1 design choice)",
             || ablations::rapidsample_delta_success_report().0,
@@ -178,8 +183,8 @@ pub fn full_battery() -> Vec<Job> {
 /// The CI-sized smoke battery: one cheap experiment per subsystem —
 /// sensors (Fig. 2-2), rate adaptation (one trace of one Fig. 3 scenario),
 /// topology (one probing trace), the ETX analysis, vehicular (one small
-/// network), route stability, and the AP scenario (Fig. 5-1 is already a
-/// single run).
+/// network), route stability, the AP scenario (Fig. 5-1 is already a
+/// single run), and the multi-client fleet engine.
 pub fn smoke_battery() -> Vec<Job> {
     vec![
         Job::new(
@@ -216,6 +221,11 @@ pub fn smoke_battery() -> Vec<Job> {
             "fig_5_1",
             "Two-client AP collapse when one departs (Fig. 5-1)",
             || fig_5_1::report().0,
+        ),
+        Job::new(
+            "fig_fleet",
+            "Multi-client fleet: hint-aware association/handoff (Sec. 5.2)",
+            || fleet::report().0,
         ),
     ]
 }
@@ -395,8 +405,8 @@ mod tests {
 
     #[test]
     fn batteries_have_expected_sizes() {
-        assert_eq!(full_battery().len(), 21);
-        assert_eq!(smoke_battery().len(), 7);
+        assert_eq!(full_battery().len(), 22);
+        assert_eq!(smoke_battery().len(), 8);
     }
 
     #[test]
@@ -422,7 +432,7 @@ mod tests {
             names,
             ["fig_3_1", "fig_3_5", "fig_3_6", "fig_3_7", "fig_3_8"]
         );
-        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 21);
+        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 22);
     }
 
     #[test]
@@ -439,7 +449,7 @@ mod tests {
     #[test]
     fn battery_index_lists_every_name_and_description() {
         let index = battery_index(&full_battery());
-        assert_eq!(index.lines().count(), 21);
+        assert_eq!(index.lines().count(), 22);
         // Aligned two-column format: name, padding, description.
         let width = full_battery().iter().map(|j| j.name().len()).max().unwrap();
         for (line, job) in index.lines().zip(full_battery()) {

@@ -1,0 +1,880 @@
+//! The fleet simulation engine: N mobile clients sharing M access
+//! points, with sensor hints steering association, handoff, and rate
+//! adaptation together.
+//!
+//! The paper evaluates the hint protocol per-link; its payoff at scale
+//! shows up when many clients share APs (Sec. 5.2). This engine layers
+//! the pieces the substrate crates already model:
+//!
+//! * **Association/handoff** — every scan interval each client scores
+//!   the in-range APs under the spec's [`HandoffPolicy`]:
+//!   signal-strength (baseline), predicted dwell from the movement hint
+//!   (`hint_ap::association`), or dwell divided by the link's ETX
+//!   (`hint_topology::etx`). Switches are gated by
+//!   [`hint_ap::association::should_handoff`] hysteresis, so an
+//!   unchanged scan can never ping-pong.
+//! * **Hints** — each client runs the same hint pipeline as a
+//!   single-link scenario ([`HintStream`]); the hint gates the dwell
+//!   prediction (a client that believes it is static scores every
+//!   covering AP as an infinite dwell and stays put) and rides frames to
+//!   the AP, whose [`NeighborHints`] table decides how departures are
+//!   handled (the Fig. 5-1 ghost-airtime model, `hint_ap`'s
+//!   [`DisassociationPolicy`]).
+//! * **Traffic** — every association span runs a real
+//!   [`LinkSimulator`] over a trace whose mean SNR is offset by the
+//!   client's distance from its AP, with a fresh adapter from the
+//!   [`ProtocolRegistry`]; per-client results aggregate into the
+//!   [`FleetOutcome`].
+//!
+//! Scan ticks flow through `hint-sim`'s [`EventQueue`], whose FIFO
+//! ordering among simultaneous events pins the client processing order.
+//! Every random stream derives from the fleet seed, so a fleet run is
+//! **deterministic**: same spec + seed ⇒ byte-identical
+//! [`FleetOutcome`], regardless of worker-thread count in the
+//! surrounding battery.
+
+use crate::neighbors::NeighborHints;
+use hint_ap::association::{predicted_dwell_s, should_handoff, ApCandidate, ClientMotion};
+use hint_ap::disassociation::DisassociationPolicy;
+use hint_channel::{delivery_table, Environment, Trace};
+use hint_mac::hint_proto::HintField;
+use hint_mac::{BitRate, MacTiming};
+use hint_rateadapt::fleet::{
+    jain_index, FleetApStats, FleetClientOutcome, FleetOutcome, FleetSpec, HandoffPolicy,
+};
+use hint_rateadapt::protocols::registry::{AdapterFactory, ProtocolRegistry};
+use hint_rateadapt::scenario::{HintSpec, ScenarioError, ScenarioOutcome, HINT_SEED_MASK};
+use hint_rateadapt::{HintStream, LinkSimulator, SimResult};
+use hint_sensors::gps::Position;
+use hint_sensors::motion::{MotionProfile, MotionSegment};
+use hint_sim::{EventQueue, RngStream, SimDuration, SimTime};
+
+/// Assumed receiver noise floor, dBm: scan-time RSSI is the link's mean
+/// SNR re-referenced to it.
+pub const NOISE_FLOOR_DBM: f64 = -95.0;
+
+/// Path-loss exponent of the coverage-disk link model (indoor-ish).
+pub const PATH_LOSS_EXP: f64 = 2.7;
+
+/// Commercial-default prune timeout for a silent client (Sec. 5.2.3's
+/// "after about 10 seconds of getting no response, the AP pruned the
+/// absent client").
+const PRUNE_AFTER: SimDuration = SimDuration::from_secs(10);
+
+/// Gentle probe cadence for hint-quarantined clients.
+const PROBE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// Mean SNR (dB) of a client↔AP link at distance `dist_m` from an AP
+/// with usable radius `coverage_m`, in environment `env`: the
+/// environment's operating point holds at a third of the coverage
+/// radius and rolls off with [`PATH_LOSS_EXP`] toward the edge.
+pub fn link_snr_db(env: &Environment, dist_m: f64, coverage_m: f64) -> f64 {
+    let d_ref = (coverage_m / 3.0).max(1.0);
+    env.base_snr_db + 10.0 * PATH_LOSS_EXP * (d_ref / dist_m.max(1.0)).log10()
+}
+
+// ---------------------------------------------------------------------------
+// Client paths
+// ---------------------------------------------------------------------------
+
+/// A client's position over time: its start point plus the piecewise-
+/// constant velocity schedule of its motion profile (headings are
+/// degrees clockwise from north, as everywhere in the workspace).
+#[derive(Clone, Debug)]
+struct ClientPath {
+    /// `(segment start time, position at that start, segment)`.
+    legs: Vec<(SimTime, Position, MotionSegment)>,
+}
+
+impl ClientPath {
+    fn new(start: Position, profile: &MotionProfile) -> Self {
+        let mut legs = Vec::with_capacity(profile.segments().len());
+        let mut t = SimTime::ZERO;
+        let mut pos = start;
+        for seg in profile.segments() {
+            legs.push((t, pos, *seg));
+            let dt = seg.duration.as_secs_f64();
+            let v = seg.state.speed_mps();
+            let h = seg.heading_deg.to_radians();
+            pos = Position {
+                x: pos.x + v * dt * h.sin(),
+                y: pos.y + v * dt * h.cos(),
+            };
+            t += seg.duration;
+        }
+        ClientPath { legs }
+    }
+
+    /// Position at `t` (the last segment extends forever, matching
+    /// [`MotionProfile`] query semantics).
+    fn position_at(&self, t: SimTime) -> Position {
+        let (leg_t, leg_pos, seg) = self
+            .legs
+            .iter()
+            .rev()
+            .find(|(start, _, _)| *start <= t)
+            .expect("paths have >= 1 leg");
+        let dt = t.saturating_since(*leg_t).as_secs_f64();
+        let v = seg.state.speed_mps();
+        let h = seg.heading_deg.to_radians();
+        Position {
+            x: leg_pos.x + v * dt * h.sin(),
+            y: leg_pos.y + v * dt * h.cos(),
+        }
+    }
+}
+
+/// The sub-profile of `profile` covering `[from, from + span)`, for
+/// generating an association span's channel trace. The last segment
+/// extends forever, as in [`MotionProfile`] queries.
+fn slice_profile(profile: &MotionProfile, from: SimTime, span: SimDuration) -> MotionProfile {
+    let mut out: Vec<MotionSegment> = Vec::new();
+    let mut remaining = span;
+    let mut cursor = SimTime::ZERO;
+    for seg in profile.segments() {
+        let seg_end = cursor + seg.duration;
+        if seg_end > from && !remaining.is_zero() {
+            let start_in_seg = if from > cursor {
+                from.saturating_since(cursor)
+            } else {
+                SimDuration::ZERO
+            };
+            let avail = seg.duration - start_in_seg;
+            let take = if avail < remaining { avail } else { remaining };
+            if !take.is_zero() {
+                out.push(MotionSegment {
+                    duration: take,
+                    ..*seg
+                });
+                remaining -= take;
+            }
+        }
+        cursor = seg_end;
+    }
+    if !remaining.is_zero() {
+        // Past the schedule: the last segment's state continues.
+        let last = *profile.segments().last().expect("non-empty profile");
+        out.push(MotionSegment {
+            duration: remaining,
+            ..last
+        });
+    }
+    MotionProfile::new(out)
+}
+
+// ---------------------------------------------------------------------------
+// Compiled fleet
+// ---------------------------------------------------------------------------
+
+/// A compiled, runnable fleet scenario. Owns the per-client motion
+/// profiles, paths, and full-run hint streams; [`FleetScenario::run`]
+/// replays the whole fleet deterministically from the spec seed.
+pub struct FleetScenario {
+    spec: FleetSpec,
+    env: Environment,
+    policy: HandoffPolicy,
+    protocol_name: String,
+    factory: AdapterFactory,
+    profiles: Vec<MotionProfile>,
+    paths: Vec<ClientPath>,
+    /// Full-duration hint stream per client (`None` for hint-oblivious
+    /// fleets) — drives the association/handoff decisions.
+    hints: Vec<Option<HintStream>>,
+    /// Per-client root seeds, derived from the fleet seed.
+    client_seeds: Vec<u64>,
+}
+
+/// One scheduled engine event (the queue also pins the FIFO order of
+/// same-instant scans, which is what makes the run order deterministic).
+#[derive(Clone, Copy, Debug)]
+enum FleetEvent {
+    /// The given client re-evaluates its association.
+    Scan(usize),
+}
+
+/// Per-client association bookkeeping during the event phase.
+struct ClientRun {
+    current: Option<usize>,
+    /// When the current association became active.
+    span_start: SimTime,
+    /// When the client last became unassociated (for outage accounting).
+    dark_since: Option<SimTime>,
+    /// Closed spans: `(from, to, ap)`.
+    spans: Vec<(SimTime, SimTime, usize)>,
+    aps_visited: Vec<usize>,
+    handoffs: u32,
+    forced_handoffs: u32,
+    /// A coverage loss happened and the next association should count
+    /// as a forced handoff.
+    pending_forced: bool,
+    outage: SimDuration,
+}
+
+impl FleetScenario {
+    /// Validate and compile `spec` against the builtin protocol
+    /// registry.
+    pub fn compile(spec: &FleetSpec) -> Result<FleetScenario, ScenarioError> {
+        Self::compile_with(spec, ProtocolRegistry::builtin_shared())
+    }
+
+    /// Validate and compile against an explicit registry (custom
+    /// protocols).
+    pub fn compile_with(
+        spec: &FleetSpec,
+        registry: &ProtocolRegistry,
+    ) -> Result<FleetScenario, ScenarioError> {
+        spec.validate_with(registry)?;
+        let env = spec.environment.resolve();
+        let policy = spec.policy().expect("validated above");
+        let protocol_name = registry
+            .canonical_name(&spec.protocol.name)
+            .expect("validated above")
+            .to_string();
+        let factory = registry
+            .factory(&spec.protocol.name)
+            .expect("validated above");
+
+        let root = RngStream::new(spec.seed);
+        let mut profiles = Vec::with_capacity(spec.clients.len());
+        let mut paths = Vec::with_capacity(spec.clients.len());
+        let mut hints = Vec::with_capacity(spec.clients.len());
+        let mut client_seeds = Vec::with_capacity(spec.clients.len());
+        for (i, client) in spec.clients.iter().enumerate() {
+            let seed = root.derive_idx("fleet-client", i as u64).seed();
+            let profile = client.motion.profile(spec.duration);
+            let stream = match &spec.hints {
+                HintSpec::None => None,
+                HintSpec::Oracle { latency } => {
+                    Some(HintStream::oracle(&profile, spec.duration, *latency))
+                }
+                HintSpec::Sensors { seed: explicit } => {
+                    // Per-client accelerometer noise: the fleet-level
+                    // explicit seed (if any) is mixed per client so two
+                    // clients never share a noise stream.
+                    let hint_seed = match explicit {
+                        Some(s) => RngStream::new(*s)
+                            .derive_idx("fleet-hints", i as u64)
+                            .seed(),
+                        None => seed ^ HINT_SEED_MASK,
+                    };
+                    Some(HintStream::from_sensors(&profile, spec.duration, hint_seed))
+                }
+            };
+            paths.push(ClientPath::new(
+                Position {
+                    x: client.start_x_m,
+                    y: client.start_y_m,
+                },
+                &profile,
+            ));
+            profiles.push(profile);
+            hints.push(stream);
+            client_seeds.push(seed);
+        }
+        Ok(FleetScenario {
+            spec: spec.clone(),
+            env,
+            policy,
+            protocol_name,
+            factory,
+            profiles,
+            paths,
+            hints,
+            client_seeds,
+        })
+    }
+
+    /// The spec this fleet was compiled from.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// The resolved channel environment.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// The canonical name of the protocol every client runs.
+    pub fn protocol_name(&self) -> &str {
+        &self.protocol_name
+    }
+
+    /// Scan-time candidate list: every AP whose coverage disk contains
+    /// `pos`, with model RSSI.
+    fn candidates(&self, pos: Position) -> Vec<ApCandidate> {
+        self.spec
+            .aps
+            .iter()
+            .enumerate()
+            .filter_map(|(id, ap)| {
+                let ap_pos = Position {
+                    x: ap.x_m,
+                    y: ap.y_m,
+                };
+                let dist = pos.distance(ap_pos);
+                (dist <= ap.coverage_m).then(|| ApCandidate {
+                    id,
+                    position: ap_pos,
+                    rssi_dbm: NOISE_FLOOR_DBM + link_snr_db(&self.env, dist, ap.coverage_m),
+                    coverage_m: ap.coverage_m,
+                })
+            })
+            .collect()
+    }
+
+    /// Score one candidate under the fleet's handoff policy. Signal
+    /// scores are dBm; hint scores are predicted dwell seconds,
+    /// optionally divided by the candidate link's ETX.
+    fn score(&self, ap: &ApCandidate, client: &ClientMotion) -> f64 {
+        match self.policy {
+            HandoffPolicy::StrongestSignal => ap.rssi_dbm,
+            HandoffPolicy::HintAware => predicted_dwell_s(ap, client),
+            HandoffPolicy::HintEtx => {
+                let snr = ap.rssi_dbm - NOISE_FLOOR_DBM;
+                let p = delivery_table().prob_1000(BitRate::R6, snr);
+                predicted_dwell_s(ap, client) / hint_topology::etx::etx(p)
+            }
+        }
+    }
+
+    /// The best candidate and its score (ties broken by RSSI, then by
+    /// the stable candidate order).
+    fn best_candidate(
+        &self,
+        candidates: &[ApCandidate],
+        client: &ClientMotion,
+    ) -> Option<(usize, f64)> {
+        candidates
+            .iter()
+            .map(|ap| (ap.id, self.score(ap, client), ap.rssi_dbm))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(a.2.total_cmp(&b.2)))
+            .map(|(id, score, _)| (id, score))
+    }
+
+    /// Run the fleet. Each call replays the identical experiment: every
+    /// stream is re-derived from the spec seed.
+    pub fn run(&self) -> FleetOutcome {
+        let n_clients = self.spec.clients.len();
+        let n_aps = self.spec.aps.len();
+        let duration = self.spec.duration;
+        let end = SimTime::ZERO + duration;
+        let reassoc = self.spec.handoff.reassociation_cost;
+        let margin = self.spec.handoff.hysteresis;
+        let client_hints_on = !matches!(self.spec.hints, HintSpec::None);
+
+        // ------------------------------------------------------------------
+        // Phase A: the association/handoff event loop.
+        // ------------------------------------------------------------------
+        let mut runs: Vec<ClientRun> = (0..n_clients)
+            .map(|_| ClientRun {
+                current: None,
+                span_start: SimTime::ZERO,
+                dark_since: Some(SimTime::ZERO),
+                spans: Vec::new(),
+                aps_visited: Vec::new(),
+                handoffs: 0,
+                forced_handoffs: 0,
+                pending_forced: false,
+                outage: SimDuration::ZERO,
+            })
+            .collect();
+        // AP-side hint tables (fed by frames, as in `neighbors`) and
+        // ghost-airtime accounting.
+        let mut ap_tables: Vec<NeighborHints<usize>> =
+            (0..n_aps).map(|_| NeighborHints::new()).collect();
+        let mut ap_assoc_s = vec![0.0f64; n_aps];
+        let mut ap_handoffs_in = vec![0u32; n_aps];
+        let mut ap_wasted_s = vec![0.0f64; n_aps];
+        let probe_airtime_s = MacTiming::ieee80211a()
+            .exchange_airtime(BitRate::R6, self.spec.payload_bytes)
+            .as_secs_f64();
+
+        let mut queue: EventQueue<FleetEvent> = EventQueue::new();
+        for c in 0..n_clients {
+            queue.schedule(SimTime::ZERO, FleetEvent::Scan(c));
+        }
+        while let Some(ev) = queue.pop() {
+            let FleetEvent::Scan(c) = ev.event;
+            let now = ev.at;
+            let pos = self.paths[c].position_at(now);
+            let moving = self.hints[c]
+                .as_ref()
+                .map(|h| h.query(now))
+                .unwrap_or(false);
+            let profile = &self.profiles[c];
+            let client = ClientMotion {
+                position: pos,
+                moving,
+                heading_deg: profile.heading_at(now),
+                speed_mps: if moving { profile.speed_at(now) } else { 0.0 },
+            };
+            let candidates = self.candidates(pos);
+
+            // The client tells its AP about its movement on every scan
+            // frame (legacy fleets send no hint field, only presence).
+            let run = &mut runs[c];
+            if let Some(cur) = run.current {
+                let field = if client_hints_on {
+                    HintField::movement(moving)
+                } else {
+                    HintField::legacy()
+                };
+                ap_tables[cur].on_frame(c, now, &field);
+            }
+
+            // Score the incumbent: out of coverage scores as "no link".
+            let cur_score = run.current.and_then(|cur| {
+                candidates
+                    .iter()
+                    .find(|ap| ap.id == cur)
+                    .map(|ap| self.score(ap, &client))
+            });
+            let best = self.best_candidate(&candidates, &client);
+
+            match (run.current, best) {
+                (Some(cur), _) if cur_score.is_none() => {
+                    // Coverage lost. Close the span; charge the old AP
+                    // the Fig. 5-1 ghost window: open-loop blasting until
+                    // the prune timeout for a silent departure, or
+                    // occasional probes if the AP heard a movement hint.
+                    run.spans.push((run.span_start, now, cur));
+                    let ghost_policy = if ap_tables[cur].is_moving(c) {
+                        DisassociationPolicy::HintAware {
+                            probe_interval: PROBE_INTERVAL,
+                        }
+                    } else {
+                        DisassociationPolicy::Timeout {
+                            prune_after: PRUNE_AFTER,
+                        }
+                    };
+                    let window = end.saturating_since(now).min(PRUNE_AFTER);
+                    ap_wasted_s[cur] += match ghost_policy {
+                        DisassociationPolicy::Timeout { .. } => window.as_secs_f64(),
+                        DisassociationPolicy::HintAware { probe_interval } => {
+                            let probes =
+                                (window.as_secs_f64() / probe_interval.as_secs_f64()).ceil();
+                            probes * probe_airtime_s
+                        }
+                    };
+                    run.pending_forced = true;
+                    run.current = None;
+                    run.dark_since = Some(now);
+                    // Fall through to (None, best) handling on the NEXT
+                    // scan only if no candidate exists now; otherwise
+                    // re-associate immediately below.
+                    if let Some((best_id, best_score)) = best {
+                        if should_handoff(None, best_score, margin)
+                            && self.associate(run, best_id, now, reassoc, end)
+                        {
+                            ap_handoffs_in[best_id] += 1;
+                        }
+                    }
+                }
+                (Some(cur), Some((best_id, best_score)))
+                    if best_id != cur && should_handoff(cur_score, best_score, margin) =>
+                {
+                    // Hint-led (voluntary) handoff: the old link still
+                    // works, the AP is told, no ghost window.
+                    run.spans.push((run.span_start, now, cur));
+                    if self.associate(run, best_id, now, reassoc, end) {
+                        ap_handoffs_in[best_id] += 1;
+                    }
+                }
+                (None, Some((best_id, best_score))) if should_handoff(None, best_score, margin) => {
+                    // (associate() has side effects, so it must not move
+                    // into the match guard.)
+                    let recorded = self.associate(run, best_id, now, reassoc, end);
+                    if recorded {
+                        ap_handoffs_in[best_id] += 1;
+                    }
+                }
+                _ => {}
+            }
+
+            let next = now + self.spec.handoff.scan_interval;
+            if next < end {
+                queue.schedule(next, FleetEvent::Scan(c));
+            }
+        }
+
+        // Close out the run: final spans and trailing outage.
+        for run in runs.iter_mut() {
+            match run.current {
+                Some(cur) if run.span_start < end => {
+                    run.spans.push((run.span_start, end, cur));
+                }
+                _ => {}
+            }
+            if let Some(dark) = run.dark_since.take() {
+                if run.current.is_none() {
+                    run.outage += end.saturating_since(dark);
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase B: per-span link traffic.
+        // ------------------------------------------------------------------
+        let mut client_outcomes = Vec::with_capacity(n_clients);
+        for (c, run) in runs.iter().enumerate() {
+            let mut merged = SimResult {
+                packets_sent: 0,
+                packets_delivered: 0,
+                attempts: 0,
+                goodput_bps: 0.0,
+                duration,
+                rate_usage: [0; BitRate::COUNT],
+                delivered_per_second: vec![0; duration.as_secs_f64().ceil() as usize],
+            };
+            // The per-client stream compile() derived: re-rooting on the
+            // stored seed is bit-identical (derivation is seed-pure).
+            let client_stream = RngStream::new(self.client_seeds[c]);
+            for (k, &(from, to, ap_id)) in run.spans.iter().enumerate() {
+                let span = to.saturating_since(from);
+                // Associated time counts in the AP stats whatever the
+                // span length; only the traffic simulation needs slots.
+                ap_assoc_s[ap_id] += span.as_secs_f64();
+                // Sub-slot spans cannot carry a trace slot; skip them.
+                if span < hint_channel::SLOT_DURATION * 2 {
+                    continue;
+                }
+                let ap = &self.spec.aps[ap_id];
+                let ap_pos = Position {
+                    x: ap.x_m,
+                    y: ap.y_m,
+                };
+                // Mean link distance over the span (start/mid/end).
+                let mid = from + span / 2;
+                let dist = (self.paths[c].position_at(from).distance(ap_pos)
+                    + self.paths[c].position_at(mid).distance(ap_pos)
+                    + self.paths[c].position_at(to).distance(ap_pos))
+                    / 3.0;
+                let mut span_env = self.env.clone();
+                span_env.base_snr_db = link_snr_db(&self.env, dist, ap.coverage_m);
+                let span_profile = slice_profile(&self.profiles[c], from, span);
+                let span_seed = client_stream.derive_idx("fleet-span", k as u64).seed();
+                let trace = Trace::generate(&span_env, &span_profile, span, span_seed);
+                let mut sim =
+                    LinkSimulator::from_trace(trace).with_payload(self.spec.payload_bytes);
+                if let Some(stream) = self.span_hints(&span_profile, span, span_seed) {
+                    sim = sim.with_owned_hints(stream);
+                }
+                let mut adapter = (self.factory)(&self.spec.protocol.params());
+                let result = sim.run(adapter.as_mut(), self.spec.clients[c].workload);
+
+                merged.packets_sent += result.packets_sent;
+                merged.packets_delivered += result.packets_delivered;
+                merged.attempts += result.attempts;
+                for (u, &n) in merged.rate_usage.iter_mut().zip(result.rate_usage.iter()) {
+                    *u += n;
+                }
+                let offset_s = (from.as_micros() / 1_000_000) as usize;
+                for (s, &n) in result.delivered_per_second.iter().enumerate() {
+                    if let Some(slot) = merged.delivered_per_second.get_mut(offset_s + s) {
+                        *slot += n;
+                    }
+                }
+            }
+            merged.goodput_bps =
+                merged.packets_delivered as f64 * f64::from(self.spec.payload_bytes) * 8.0
+                    / duration.as_secs_f64();
+            client_outcomes.push(FleetClientOutcome {
+                client: c,
+                aps_visited: run.aps_visited.clone(),
+                handoffs: run.handoffs,
+                forced_handoffs: run.forced_handoffs,
+                outage: run.outage,
+                outcome: ScenarioOutcome {
+                    environment: self.env.name.clone(),
+                    protocol: self.protocol_name.clone(),
+                    seed: self.client_seeds[c],
+                    result: merged,
+                },
+            });
+        }
+
+        let goodputs: Vec<f64> = client_outcomes
+            .iter()
+            .map(|c| c.outcome.result.goodput_bps)
+            .collect();
+        FleetOutcome {
+            environment: self.env.name.clone(),
+            protocol: self.protocol_name.clone(),
+            policy: self.policy.name().to_string(),
+            seed: self.spec.seed,
+            total_handoffs: client_outcomes.iter().map(|c| c.handoffs).sum(),
+            forced_handoffs: client_outcomes.iter().map(|c| c.forced_handoffs).sum(),
+            jain_fairness: jain_index(&goodputs),
+            aggregate_goodput_mbps: goodputs.iter().sum::<f64>() / 1e6,
+            clients: client_outcomes,
+            aps: (0..n_aps)
+                .map(|a| FleetApStats {
+                    association_s: ap_assoc_s[a],
+                    handoffs_in: ap_handoffs_in[a],
+                    wasted_airtime_s: ap_wasted_s[a],
+                })
+                .collect(),
+        }
+    }
+
+    /// Activate an association for `run` at `now` (plus the
+    /// reassociation cost), updating handoff counters and outage.
+    /// Returns whether a handoff was recorded, so the caller's per-AP
+    /// arrival counter always agrees with the client's handoff count
+    /// (initial association and re-joining the AP last left count as
+    /// neither).
+    fn associate(
+        &self,
+        run: &mut ClientRun,
+        ap_id: usize,
+        now: SimTime,
+        reassoc: SimDuration,
+        end: SimTime,
+    ) -> bool {
+        let active = (now + reassoc).min(end);
+        if let Some(dark) = run.dark_since.take() {
+            run.outage += active.saturating_since(dark);
+        } else {
+            run.outage += active.saturating_since(now);
+        }
+        let mut recorded = false;
+        if run.aps_visited.last() != Some(&ap_id) {
+            if !run.aps_visited.is_empty() {
+                run.handoffs += 1;
+                recorded = true;
+                if run.pending_forced {
+                    run.forced_handoffs += 1;
+                }
+            }
+            run.aps_visited.push(ap_id);
+        }
+        run.pending_forced = false;
+        run.current = Some(ap_id);
+        run.span_start = active;
+        recorded
+    }
+
+    /// The hint stream a single association span feeds its adapter
+    /// (regenerated over the span profile, like a detector restarting on
+    /// reassociation).
+    fn span_hints(
+        &self,
+        span_profile: &MotionProfile,
+        span: SimDuration,
+        span_seed: u64,
+    ) -> Option<HintStream> {
+        match &self.spec.hints {
+            HintSpec::None => None,
+            HintSpec::Oracle { latency } => Some(HintStream::oracle(span_profile, span, *latency)),
+            HintSpec::Sensors { .. } => Some(HintStream::from_sensors(
+                span_profile,
+                span,
+                span_seed ^ HINT_SEED_MASK,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hint_rateadapt::scenario::MotionSpec;
+    use hint_rateadapt::Workload;
+
+    /// Two APs 120 m apart with 70 m coverage; two walkers crossing the
+    /// floor east/west, one static client parked near AP 0.
+    fn crossing_fleet(policy: &str) -> FleetSpec {
+        FleetSpec::builder()
+            .bounds(200.0, 100.0)
+            .ap(40.0, 50.0, 70.0)
+            .ap(160.0, 50.0, 70.0)
+            .client(
+                5.0,
+                50.0,
+                MotionSpec::Walking {
+                    speed_mps: 1.6,
+                    heading_deg: 90.0,
+                },
+                Workload::Udp,
+            )
+            .client(
+                195.0,
+                50.0,
+                MotionSpec::Walking {
+                    speed_mps: 1.6,
+                    heading_deg: 270.0,
+                },
+                Workload::Udp,
+            )
+            .client(30.0, 40.0, MotionSpec::Stationary, Workload::Udp)
+            .duration(SimDuration::from_secs(90))
+            .seed(0xF1EE7)
+            .handoff_policy(policy)
+            .into_spec()
+    }
+
+    #[test]
+    fn crossing_clients_hand_off_between_aps() {
+        for policy in ["strongest-signal", "hint-aware", "hint-etx"] {
+            let fleet = FleetScenario::compile(&crossing_fleet(policy)).expect("valid");
+            let out = fleet.run();
+            // Both walkers visit both APs; the parked client stays put.
+            for c in [0, 1] {
+                assert!(
+                    out.clients[c].aps_visited.len() >= 2,
+                    "{policy}: client {c} visited {:?}",
+                    out.clients[c].aps_visited
+                );
+                assert!(out.clients[c].handoffs >= 1, "{policy}: client {c}");
+            }
+            assert_eq!(out.clients[2].aps_visited, vec![0], "{policy}");
+            assert_eq!(out.clients[2].handoffs, 0, "{policy}");
+            assert!(out.total_handoffs >= 2, "{policy}");
+            // Per-AP arrivals and per-client handoffs are two views of
+            // the same events.
+            assert_eq!(
+                out.aps.iter().map(|a| a.handoffs_in).sum::<u32>(),
+                out.total_handoffs,
+                "{policy}: AP arrivals disagree with client handoffs"
+            );
+            // Everyone moves traffic.
+            for c in &out.clients {
+                assert!(
+                    c.outcome.result.goodput_bps > 0.0,
+                    "{policy}: client {} moved no traffic",
+                    c.client
+                );
+            }
+            assert!(
+                out.jain_fairness > 0.3 && out.jain_fairness <= 1.0,
+                "{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_bit_identical() {
+        let fleet = FleetScenario::compile(&crossing_fleet("hint-etx")).expect("valid");
+        let a = fleet.run();
+        let b = fleet.run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        // And recompiling from the same spec changes nothing either.
+        let again = FleetScenario::compile(&crossing_fleet("hint-etx"))
+            .expect("valid")
+            .run();
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn hint_policies_avoid_forced_handoffs() {
+        let signal = FleetScenario::compile(&crossing_fleet("strongest-signal"))
+            .expect("valid")
+            .run();
+        let hint = FleetScenario::compile(&crossing_fleet("hint-aware"))
+            .expect("valid")
+            .run();
+        // The hint policy switches toward the AP ahead before coverage
+        // runs out, so it never loses the link mid-walk.
+        assert!(
+            hint.forced_handoffs <= signal.forced_handoffs,
+            "hint {} vs signal {}",
+            hint.forced_handoffs,
+            signal.forced_handoffs
+        );
+        // Ghost airtime only accrues when clients vanish silently.
+        let hint_wasted: f64 = hint.aps.iter().map(|a| a.wasted_airtime_s).sum();
+        let signal_wasted: f64 = signal.aps.iter().map(|a| a.wasted_airtime_s).sum();
+        assert!(
+            hint_wasted <= signal_wasted + 1e-9,
+            "hint {hint_wasted} vs signal {signal_wasted}"
+        );
+    }
+
+    #[test]
+    fn rejoining_the_same_ap_after_an_outage_is_not_a_handoff() {
+        // One AP, one walker that leaves coverage and walks back in: the
+        // outage is real, but no AP-to-AP handoff ever happens, and the
+        // AP arrival counter must agree.
+        let spec = FleetSpec::builder()
+            .bounds(300.0, 100.0)
+            .ap(40.0, 50.0, 60.0)
+            .client(
+                40.0,
+                50.0,
+                MotionSpec::Custom(vec![
+                    // Walk east out of coverage...
+                    hint_sensors::motion::MotionSegment {
+                        state: hint_sensors::motion::MotionState::Vehicle { speed_mps: 10.0 },
+                        duration: SimDuration::from_secs(10),
+                        heading_deg: 90.0,
+                    },
+                    // ...and straight back.
+                    hint_sensors::motion::MotionSegment {
+                        state: hint_sensors::motion::MotionState::Vehicle { speed_mps: 10.0 },
+                        duration: SimDuration::from_secs(10),
+                        heading_deg: 270.0,
+                    },
+                ]),
+                Workload::Udp,
+            )
+            .duration(SimDuration::from_secs(20))
+            .seed(3)
+            .handoff_policy("strongest-signal")
+            .into_spec();
+        let out = FleetScenario::compile(&spec).expect("valid").run();
+        let c = &out.clients[0];
+        assert_eq!(c.aps_visited, vec![0], "left and rejoined the same AP");
+        assert_eq!(c.handoffs, 0);
+        assert_eq!(out.aps[0].handoffs_in, 0);
+        // The out-of-coverage spell shows up as outage and ghost airtime.
+        assert!(c.outage > SimDuration::from_secs(1), "outage {}", c.outage);
+        assert!(out.aps[0].wasted_airtime_s > 0.0);
+        // Association time counts both spans, outage neither.
+        assert!(
+            out.aps[0].association_s > 10.0 && out.aps[0].association_s < 19.0,
+            "association_s {}",
+            out.aps[0].association_s
+        );
+    }
+
+    #[test]
+    fn slice_profile_preserves_total_duration() {
+        let p = MotionProfile::static_move_static(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(5),
+        );
+        let s = slice_profile(&p, SimTime::from_secs(3), SimDuration::from_secs(8));
+        assert_eq!(s.duration(), SimDuration::from_secs(8));
+        // 3..5 static, 5..11 walking.
+        assert_eq!(s.segments().len(), 2);
+        assert_eq!(s.segments()[0].duration, SimDuration::from_secs(2));
+        // Slices past the end extend the last segment.
+        let tail = slice_profile(&p, SimTime::from_secs(18), SimDuration::from_secs(10));
+        assert_eq!(tail.duration(), SimDuration::from_secs(10));
+        assert!(!tail.segments().iter().any(|seg| seg.state.is_moving()));
+    }
+
+    #[test]
+    fn client_path_follows_heading() {
+        let profile = MotionProfile::walking(SimDuration::from_secs(10), 2.0, 90.0);
+        let path = ClientPath::new(Position { x: 10.0, y: 5.0 }, &profile);
+        let p = path.position_at(SimTime::from_secs(5));
+        assert!((p.x - 20.0).abs() < 1e-9, "east by 10 m: {}", p.x);
+        assert!((p.y - 5.0).abs() < 1e-9);
+        // Past the schedule the last leg extends.
+        let p = path.position_at(SimTime::from_secs(20));
+        assert!((p.x - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_snr_rolls_off_toward_coverage_edge() {
+        let env = Environment::office();
+        let near = link_snr_db(&env, 10.0, 70.0);
+        let edge = link_snr_db(&env, 70.0, 70.0);
+        assert!(near > env.base_snr_db);
+        assert!(edge < env.base_snr_db - 10.0, "edge {edge}");
+        assert!(near > edge);
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod fleet;
 pub mod hint;
 pub mod neighbors;
 pub mod power;
@@ -76,6 +77,7 @@ pub use hint_vehicular as vehicular;
 pub use hint_ap as ap;
 
 pub use device::HintedDevice;
+pub use fleet::FleetScenario;
 pub use hint::{Hint, HintKind};
 pub use neighbors::NeighborHints;
 pub use service::HintService;

@@ -1,0 +1,751 @@
+//! Fleet specs — the multi-client, multi-AP extension of the Scenario
+//! API.
+//!
+//! A [`FleetSpec`] describes N mobile clients sharing M access points on
+//! a 2-D floor plan: per-client start position, motion and workload; AP
+//! placement and coverage; a handoff policy selected **by name** (so a
+//! JSON spec can switch between the paper's signal-strength baseline and
+//! the hint-aware policies without new Rust); and the shared channel
+//! environment, protocol, hint feed and seed inherited from the
+//! single-link [`crate::scenario::ScenarioSpec`] vocabulary.
+//!
+//! This module owns the plain-data layer only: the spec types, their
+//! validation (every malformed fleet fails with an actionable
+//! [`ScenarioError`]), the [`FleetBuilder`], and the [`FleetOutcome`]
+//! result types. The engine that compiles and runs a fleet lives in the
+//! `sensor-hints` crate (`sensor_hints::fleet`), because it drives the
+//! AP association/disassociation policies (`hint-ap`) and ETX link
+//! scoring (`hint-topology`) that sit above this crate in the dependency
+//! graph.
+//!
+//! Like every scenario, a fleet is deterministic: same spec + same seed
+//! ⇒ byte-identical [`FleetOutcome`], regardless of how many worker
+//! threads the surrounding battery uses.
+
+use crate::protocols::registry::ProtocolRegistry;
+use crate::scenario::{
+    EnvironmentSpec, HintSpec, MotionSpec, ProtocolSpec, ScenarioError, ScenarioOutcome,
+};
+use crate::workload::Workload;
+use hint_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Spec types
+// ---------------------------------------------------------------------------
+
+/// The rectangular floor plan the fleet lives on: `[0, width] × [0,
+/// height]` metres, origin at the south-west corner. AP placement and
+/// client start positions must fall inside it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetBounds {
+    /// East–west extent, metres.
+    pub width_m: f64,
+    /// North–south extent, metres.
+    pub height_m: f64,
+}
+
+impl FleetBounds {
+    /// True when `(x, y)` lies inside the floor plan.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        (0.0..=self.width_m).contains(&x) && (0.0..=self.height_m).contains(&y)
+    }
+}
+
+/// One access point's placement and usable coverage radius.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ApPlacement {
+    /// Metres east of the origin.
+    pub x_m: f64,
+    /// Metres north of the origin.
+    pub y_m: f64,
+    /// Usable coverage radius, metres (association beyond it is
+    /// impossible; link quality degrades toward it).
+    pub coverage_m: f64,
+}
+
+/// One client's script: where it starts and how it moves and loads the
+/// network. Protocol, hint feed and payload are fleet-wide (the paper
+/// evaluates homogeneous deployments); motion and workload are the
+/// per-client degrees of freedom.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetClientSpec {
+    /// Start position, metres east of the origin.
+    pub start_x_m: f64,
+    /// Start position, metres north of the origin.
+    pub start_y_m: f64,
+    /// Ground-truth motion over the run (headings move the client across
+    /// the floor plan — this is what drives handoffs).
+    pub motion: MotionSpec,
+    /// This client's traffic workload.
+    pub workload: Workload,
+}
+
+/// Association/handoff policies, selectable **by name** in specs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandoffPolicy {
+    /// Associate with the strongest signal; hand off when another AP is
+    /// stronger by the hysteresis margin (today's default, the paper's
+    /// baseline).
+    StrongestSignal,
+    /// Score candidates by predicted association lifetime from the
+    /// movement hint (Sec. 5.2.1); hand off when a candidate's dwell
+    /// clears the margin.
+    HintAware,
+    /// Dwell scoring divided by the ETX of the candidate link (Sec. 4.2)
+    /// — prefer the AP that keeps the client covered *and* cheap to
+    /// reach.
+    HintEtx,
+}
+
+/// The names [`HandoffPolicy::from_name`] accepts, in canonical form.
+pub const HANDOFF_POLICY_NAMES: [&str; 3] = ["strongest-signal", "hint-aware", "hint-etx"];
+
+impl HandoffPolicy {
+    /// Parse a policy by its CLI/JSON name (case-insensitive; `_` and
+    /// `-` are interchangeable).
+    pub fn from_name(name: &str) -> Option<HandoffPolicy> {
+        match name.to_ascii_lowercase().replace('_', "-").as_str() {
+            "strongest-signal" | "signal" => Some(HandoffPolicy::StrongestSignal),
+            "hint-aware" => Some(HandoffPolicy::HintAware),
+            "hint-etx" => Some(HandoffPolicy::HintEtx),
+            _ => None,
+        }
+    }
+
+    /// The canonical spec/outcome name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HandoffPolicy::StrongestSignal => "strongest-signal",
+            HandoffPolicy::HintAware => "hint-aware",
+            HandoffPolicy::HintEtx => "hint-etx",
+        }
+    }
+}
+
+/// How and when clients re-evaluate their association.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HandoffSpec {
+    /// Policy name (see [`HANDOFF_POLICY_NAMES`]).
+    pub policy: String,
+    /// How often each client scans and re-evaluates (microseconds in
+    /// JSON).
+    pub scan_interval: SimDuration,
+    /// Hysteresis margin in the policy's score units (dB for
+    /// `strongest-signal`, seconds of predicted dwell for `hint-aware`,
+    /// dwell/ETX score units for `hint-etx`): a candidate must beat the
+    /// current AP by this much before a handoff is worth its cost.
+    pub hysteresis: f64,
+    /// Link downtime per handoff (scan + auth + reassociation).
+    pub reassociation_cost: SimDuration,
+}
+
+impl Default for HandoffSpec {
+    fn default() -> Self {
+        HandoffSpec {
+            policy: "strongest-signal".to_string(),
+            scan_interval: SimDuration::from_secs(1),
+            hysteresis: 3.0,
+            reassociation_cost: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// A complete, serializable description of one multi-client fleet
+/// experiment. Durations serialize as integer microseconds, like every
+/// scenario field (schema: EXPERIMENTS.md, "Fleet spec files").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Shared channel environment (per-link SNR statistics; the fleet
+    /// engine offsets the mean per link by AP distance).
+    pub environment: EnvironmentSpec,
+    /// Floor-plan bounds; APs and client starts must lie inside.
+    pub bounds: FleetBounds,
+    /// Access points.
+    pub aps: Vec<ApPlacement>,
+    /// Mobile clients.
+    pub clients: Vec<FleetClientSpec>,
+    /// Run length (microseconds in JSON).
+    pub duration: SimDuration,
+    /// Root seed; per-client and per-association-span streams derive
+    /// from it, so the whole fleet is replayable from this one number.
+    pub seed: u64,
+    /// Rate-adaptation protocol every client runs, by registry name.
+    pub protocol: ProtocolSpec,
+    /// Movement-hint feed (gates rate adaptation *and* handoff: with
+    /// `None`, the hint policies degrade to signal-strength behaviour).
+    pub hints: HintSpec,
+    /// Association/handoff policy and cadence.
+    pub handoff: HandoffSpec,
+    /// Link payload size, bytes.
+    pub payload_bytes: u32,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            environment: EnvironmentSpec::Office,
+            bounds: FleetBounds {
+                width_m: 200.0,
+                height_m: 100.0,
+            },
+            aps: Vec::new(),
+            clients: Vec::new(),
+            duration: SimDuration::from_secs(30),
+            seed: 0,
+            protocol: ProtocolSpec::default(),
+            hints: HintSpec::Sensors { seed: None },
+            handoff: HandoffSpec::default(),
+            payload_bytes: 1000,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// Start a builder with the default spec (no APs or clients yet).
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder::default()
+    }
+
+    /// Validate against the builtin protocol registry.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.validate_with(ProtocolRegistry::builtin_shared())
+    }
+
+    /// Validate against an explicit registry (custom protocols).
+    pub fn validate_with(&self, registry: &ProtocolRegistry) -> Result<(), ScenarioError> {
+        let bad = |msg: String| Err(ScenarioError::BadFleet(msg));
+        if self.duration.is_zero() {
+            return Err(ScenarioError::ZeroDuration);
+        }
+        if self.payload_bytes == 0 {
+            return Err(ScenarioError::ZeroPayload);
+        }
+        let (w, h) = (self.bounds.width_m, self.bounds.height_m);
+        if !(w.is_finite() && h.is_finite() && w > 0.0 && h > 0.0) {
+            return bad(format!(
+                "environment bounds must be finite and positive, got {w} x {h} m"
+            ));
+        }
+        if self.clients.is_empty() {
+            return bad(
+                "fleet needs at least one client (clients is empty); add entries with a \
+                 start position, motion, and workload"
+                    .into(),
+            );
+        }
+        if self.aps.is_empty() {
+            return bad(
+                "fleet needs at least one AP (aps is empty); add entries with a position \
+                 and coverage radius"
+                    .into(),
+            );
+        }
+        for (i, ap) in self.aps.iter().enumerate() {
+            if !(ap.x_m.is_finite() && ap.y_m.is_finite()) {
+                return bad(format!(
+                    "AP {i} position must be finite, got ({}, {})",
+                    ap.x_m, ap.y_m
+                ));
+            }
+            if !self.bounds.contains(ap.x_m, ap.y_m) {
+                return bad(format!(
+                    "AP {i} at ({}, {}) m lies outside the environment bounds {w} x {h} m \
+                     (origin (0, 0))",
+                    ap.x_m, ap.y_m
+                ));
+            }
+            if !(ap.coverage_m.is_finite() && ap.coverage_m > 0.0) {
+                return bad(format!(
+                    "AP {i} coverage radius must be finite and positive, got {}",
+                    ap.coverage_m
+                ));
+            }
+        }
+        for (i, client) in self.clients.iter().enumerate() {
+            if !self.bounds.contains(client.start_x_m, client.start_y_m) {
+                return bad(format!(
+                    "client {i} starts at ({}, {}) m, outside the environment bounds \
+                     {w} x {h} m",
+                    client.start_x_m, client.start_y_m
+                ));
+            }
+            // Reuse the single-link motion validation, adding the client
+            // index so a fleet of dozens stays debuggable.
+            if let Err(e) = client.motion.validate(self.duration) {
+                return bad(format!("client {i}: {e}"));
+            }
+        }
+        if HandoffPolicy::from_name(&self.handoff.policy).is_none() {
+            return Err(ScenarioError::UnknownHandoffPolicy {
+                name: self.handoff.policy.clone(),
+                known: HANDOFF_POLICY_NAMES.iter().map(|s| s.to_string()).collect(),
+            });
+        }
+        if self.handoff.scan_interval.is_zero() {
+            return bad("handoff scan interval must be positive".into());
+        }
+        if self.handoff.scan_interval > self.duration {
+            return bad(format!(
+                "handoff scan interval {} exceeds the fleet duration {} — clients would \
+                 never re-evaluate",
+                self.handoff.scan_interval, self.duration
+            ));
+        }
+        if !(self.handoff.hysteresis.is_finite() && self.handoff.hysteresis >= 0.0) {
+            return bad(format!(
+                "handoff hysteresis must be finite and non-negative, got {}",
+                self.handoff.hysteresis
+            ));
+        }
+        if self.handoff.reassociation_cost >= self.handoff.scan_interval {
+            return bad(format!(
+                "reassociation cost {} must be below the scan interval {}",
+                self.handoff.reassociation_cost, self.handoff.scan_interval
+            ));
+        }
+        if !registry.contains(&self.protocol.name) {
+            let e = registry.unknown(&self.protocol.name);
+            return Err(ScenarioError::UnknownProtocol {
+                name: e.name,
+                known: e.known,
+            });
+        }
+        Ok(())
+    }
+
+    /// The handoff policy this spec selects (call after validation).
+    pub fn policy(&self) -> Option<HandoffPolicy> {
+        HandoffPolicy::from_name(&self.handoff.policy)
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serialization cannot fail")
+    }
+
+    /// Serialize to pretty-printed JSON (the checked-in spec-file
+    /// format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<FleetSpec, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write to a spec file as pretty JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json_pretty() + "\n")
+    }
+
+    /// Load from a JSON spec file.
+    pub fn load(path: &Path) -> io::Result<FleetSpec> {
+        let s = std::fs::read_to_string(path)?;
+        FleetSpec::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Validating fluent construction of [`FleetSpec`]s, mirroring
+/// [`crate::scenario::ScenarioBuilder`].
+///
+/// Defaults: office environment, 200 × 100 m bounds, 30 s, seed 0,
+/// fleet-wide sensor hints, RapidSample, strongest-signal handoff with a
+/// 1 s scan and 3-unit hysteresis, 1000-byte payload — and **no APs or
+/// clients**, which [`FleetBuilder::validate`] rejects until both are
+/// added.
+#[derive(Clone, Debug, Default)]
+pub struct FleetBuilder {
+    spec: FleetSpec,
+}
+
+impl FleetBuilder {
+    /// A builder holding the default spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the channel environment.
+    pub fn environment(mut self, env: EnvironmentSpec) -> Self {
+        self.spec.environment = env;
+        self
+    }
+
+    /// Set the floor-plan bounds, metres.
+    pub fn bounds(mut self, width_m: f64, height_m: f64) -> Self {
+        self.spec.bounds = FleetBounds { width_m, height_m };
+        self
+    }
+
+    /// Add an AP at `(x, y)` with the given coverage radius, metres.
+    pub fn ap(mut self, x_m: f64, y_m: f64, coverage_m: f64) -> Self {
+        self.spec.aps.push(ApPlacement {
+            x_m,
+            y_m,
+            coverage_m,
+        });
+        self
+    }
+
+    /// Add a client starting at `(x, y)` with its motion and workload.
+    pub fn client(mut self, x_m: f64, y_m: f64, motion: MotionSpec, workload: Workload) -> Self {
+        self.spec.clients.push(FleetClientSpec {
+            start_x_m: x_m,
+            start_y_m: y_m,
+            motion,
+            workload,
+        });
+        self
+    }
+
+    /// Set the run duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.spec.duration = duration;
+        self
+    }
+
+    /// Set the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Select the fleet-wide protocol by registry name.
+    pub fn protocol(mut self, name: impl Into<String>) -> Self {
+        self.spec.protocol = ProtocolSpec::named(name);
+        self
+    }
+
+    /// Select the fleet-wide hint feed.
+    pub fn hints(mut self, hints: HintSpec) -> Self {
+        self.spec.hints = hints;
+        self
+    }
+
+    /// Select the handoff policy by name (see [`HANDOFF_POLICY_NAMES`]).
+    pub fn handoff_policy(mut self, name: impl Into<String>) -> Self {
+        self.spec.handoff.policy = name.into();
+        self
+    }
+
+    /// Override the handoff scan interval.
+    pub fn scan_interval(mut self, interval: SimDuration) -> Self {
+        self.spec.handoff.scan_interval = interval;
+        self
+    }
+
+    /// Override the handoff hysteresis margin.
+    pub fn hysteresis(mut self, margin: f64) -> Self {
+        self.spec.handoff.hysteresis = margin;
+        self
+    }
+
+    /// Override the per-handoff reassociation cost.
+    pub fn reassociation_cost(mut self, cost: SimDuration) -> Self {
+        self.spec.handoff.reassociation_cost = cost;
+        self
+    }
+
+    /// Override the link payload size.
+    pub fn payload_bytes(mut self, bytes: u32) -> Self {
+        self.spec.payload_bytes = bytes;
+        self
+    }
+
+    /// The spec built so far (not yet validated).
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Consume the builder, returning the spec (not yet validated).
+    pub fn into_spec(self) -> FleetSpec {
+        self.spec
+    }
+
+    /// Validate against the builtin registry and return the spec.
+    pub fn validate(self) -> Result<FleetSpec, ScenarioError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome types
+// ---------------------------------------------------------------------------
+
+/// One client's share of a fleet run: its aggregated link results (a
+/// full single-link [`ScenarioOutcome`]) plus the association history
+/// the fleet engine observed for it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetClientOutcome {
+    /// Client index in the spec's `clients` list.
+    pub client: usize,
+    /// AP ids in association order (consecutive duplicates collapsed) —
+    /// the client's handoff trajectory.
+    pub aps_visited: Vec<usize>,
+    /// Number of handoffs (AP-to-AP switches).
+    pub handoffs: u32,
+    /// Handoffs forced by losing coverage (as opposed to hint-led
+    /// switches decided while the old link still worked).
+    pub forced_handoffs: u32,
+    /// Total unassociated time (handoff gaps + out-of-coverage spells),
+    /// microseconds in JSON.
+    pub outage: SimDuration,
+    /// The client's aggregated link-level outcome across all its
+    /// association spans.
+    pub outcome: ScenarioOutcome,
+}
+
+/// One AP's aggregate view of the run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetApStats {
+    /// Total client-association time, seconds (sums across clients, so
+    /// it can exceed the run duration).
+    pub association_s: f64,
+    /// Handoffs that arrived at this AP.
+    pub handoffs_in: u32,
+    /// Airtime wasted on departed-but-not-yet-pruned clients, seconds —
+    /// the Fig. 5-1 pathology at fleet scale. Near zero when departing
+    /// clients hint and the AP quarantines them (Sec. 5.2.3).
+    pub wasted_airtime_s: f64,
+}
+
+/// The complete result of one fleet run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Environment name the links were generated in.
+    pub environment: String,
+    /// Canonical protocol name every client ran.
+    pub protocol: String,
+    /// Canonical handoff-policy name.
+    pub policy: String,
+    /// The fleet seed (provenance).
+    pub seed: u64,
+    /// Per-client outcomes, in spec order.
+    pub clients: Vec<FleetClientOutcome>,
+    /// Per-AP stats, in spec order.
+    pub aps: Vec<FleetApStats>,
+    /// Total handoffs across the fleet.
+    pub total_handoffs: u32,
+    /// Coverage-loss (forced) handoffs across the fleet.
+    pub forced_handoffs: u32,
+    /// Jain's fairness index over per-client goodput (1.0 = perfectly
+    /// even, 1/N = one client starves the rest).
+    pub jain_fairness: f64,
+    /// Sum of per-client goodput, Mbit/s.
+    pub aggregate_goodput_mbps: f64,
+}
+
+impl FleetOutcome {
+    /// Serialize to pretty JSON (the `scenario_run --json` format and
+    /// the golden-outcome pinning format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("outcome serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<FleetOutcome, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Total unassociated time across the fleet.
+    pub fn total_outage(&self) -> SimDuration {
+        self.clients
+            .iter()
+            .fold(SimDuration::ZERO, |acc, c| acc + c.outage)
+    }
+}
+
+/// Jain's fairness index over a set of non-negative allocations:
+/// `(Σx)² / (n · Σx²)`, which is 1 for an even split and `1/n` when one
+/// participant takes everything. Defined as 1.0 for an empty or all-zero
+/// set (nobody is being treated unfairly when there is nothing to
+/// share).
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walking_fleet() -> FleetBuilder {
+        FleetSpec::builder()
+            .bounds(200.0, 100.0)
+            .ap(40.0, 50.0, 70.0)
+            .ap(160.0, 50.0, 70.0)
+            .client(
+                10.0,
+                50.0,
+                MotionSpec::Walking {
+                    speed_mps: 1.4,
+                    heading_deg: 90.0,
+                },
+                Workload::Udp,
+            )
+            .duration(SimDuration::from_secs(20))
+    }
+
+    #[test]
+    fn valid_fleet_validates_and_round_trips() {
+        let spec = walking_fleet().validate().expect("valid fleet");
+        assert_eq!(spec.policy(), Some(HandoffPolicy::StrongestSignal));
+        let reparsed = FleetSpec::from_json(&spec.to_json_pretty()).expect("round-trips");
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn zero_clients_is_actionable() {
+        let err = FleetSpec::builder()
+            .ap(40.0, 50.0, 70.0)
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("at least one client"),
+            "message must say what is missing: {msg}"
+        );
+    }
+
+    #[test]
+    fn zero_aps_is_actionable() {
+        let err = FleetSpec::builder()
+            .client(10.0, 50.0, MotionSpec::Stationary, Workload::Udp)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one AP"));
+    }
+
+    #[test]
+    fn unknown_handoff_policy_lists_known_names() {
+        let err = walking_fleet()
+            .handoff_policy("teleport")
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("teleport"), "{msg}");
+        for name in HANDOFF_POLICY_NAMES {
+            assert!(msg.contains(name), "{msg} must list {name}");
+        }
+    }
+
+    #[test]
+    fn ap_outside_bounds_names_the_ap_and_bounds() {
+        let err = walking_fleet()
+            .ap(250.0, 50.0, 70.0)
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("AP 2"), "{msg}");
+        assert!(msg.contains("outside the environment bounds"), "{msg}");
+        assert!(msg.contains("200 x 100"), "{msg}");
+    }
+
+    #[test]
+    fn client_outside_bounds_rejected() {
+        let err = walking_fleet()
+            .client(10.0, 500.0, MotionSpec::Stationary, Workload::Udp)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("client 1"));
+    }
+
+    #[test]
+    fn client_motion_errors_carry_the_client_index() {
+        let err = walking_fleet()
+            .client(
+                10.0,
+                50.0,
+                MotionSpec::Walking {
+                    speed_mps: -2.0,
+                    heading_deg: 0.0,
+                },
+                Workload::Udp,
+            )
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("client 1"), "{msg}");
+        assert!(msg.contains("speed"), "{msg}");
+    }
+
+    #[test]
+    fn handoff_cadence_is_validated() {
+        let zero_scan = walking_fleet().scan_interval(SimDuration::ZERO);
+        assert!(zero_scan.validate().is_err());
+        let slow_scan = walking_fleet().scan_interval(SimDuration::from_secs(60));
+        assert!(slow_scan
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("exceeds the fleet duration"));
+        let costly = walking_fleet().reassociation_cost(SimDuration::from_secs(2));
+        assert!(costly
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("reassociation cost"));
+        let nan_hyst = walking_fleet().hysteresis(f64::NAN);
+        assert!(nan_hyst.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_protocol_flows_through_fleet_validation() {
+        let err = walking_fleet()
+            .protocol("warpdrive")
+            .validate()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::UnknownProtocol { ref name, .. } if name == "warpdrive"
+        ));
+        assert!(err.to_string().contains("RapidSample"));
+    }
+
+    #[test]
+    fn policy_names_resolve_case_and_separator_insensitively() {
+        assert_eq!(
+            HandoffPolicy::from_name("Hint_Aware"),
+            Some(HandoffPolicy::HintAware)
+        );
+        assert_eq!(
+            HandoffPolicy::from_name("HINT-ETX"),
+            Some(HandoffPolicy::HintEtx)
+        );
+        assert_eq!(
+            HandoffPolicy::from_name("signal"),
+            Some(HandoffPolicy::StrongestSignal)
+        );
+        assert_eq!(HandoffPolicy::from_name("teleport"), None);
+        for name in HANDOFF_POLICY_NAMES {
+            let p = HandoffPolicy::from_name(name).expect("known");
+            assert_eq!(p.name(), name);
+        }
+    }
+
+    #[test]
+    fn jain_index_shapes() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        let one_hog = jain_index(&[9.0, 0.0, 0.0]);
+        assert!((one_hog - 1.0 / 3.0).abs() < 1e-12, "{one_hog}");
+        let mild = jain_index(&[2.0, 1.0]);
+        assert!(mild > 1.0 / 2.0 && mild < 1.0);
+    }
+}

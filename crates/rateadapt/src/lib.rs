@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod evaluate;
+pub mod fleet;
 pub mod hintstream;
 pub mod protocols;
 pub mod scenario;
 pub mod sim;
 pub mod workload;
 
+pub use fleet::{FleetBuilder, FleetOutcome, FleetSpec, HandoffPolicy};
 pub use hintstream::HintStream;
 pub use protocols::{
     Charm, HintAware, ProtocolParams, ProtocolRegistry, RapidSample, RateAdapter, Rbar, Rraa,

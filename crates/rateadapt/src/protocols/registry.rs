@@ -15,7 +15,34 @@
 
 use super::{Charm, HintAware, RapidSample, RateAdapter, Rbar, Rraa, SampleRate};
 use hint_sim::SimDuration;
+use std::fmt;
 use std::sync::{Arc, OnceLock};
+
+/// A lookup for a name no registered protocol answers to. The error
+/// carries (and displays) the registered names, so a failed CLI flag or
+/// spec field tells the caller what would have worked instead of sending
+/// them hunting for a `--list` flag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownProtocolError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Canonical names of every registered protocol, in registration
+    /// order.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown protocol `{}` (registered: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownProtocolError {}
 
 /// Tunables a factory may consult when instantiating an adapter.
 ///
@@ -118,6 +145,31 @@ impl ProtocolRegistry {
         self.factory(name).map(|f| f(params))
     }
 
+    /// The error for a `name` this registry does not know: carries the
+    /// registered names so callers can render an actionable message.
+    pub fn unknown(&self, name: &str) -> UnknownProtocolError {
+        UnknownProtocolError {
+            name: name.to_string(),
+            known: self.names().iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// [`ProtocolRegistry::factory`] with an actionable error: the `Err`
+    /// names every registered protocol.
+    pub fn resolve(&self, name: &str) -> Result<AdapterFactory, UnknownProtocolError> {
+        self.factory(name).ok_or_else(|| self.unknown(name))
+    }
+
+    /// [`ProtocolRegistry::build`] with an actionable error: the `Err`
+    /// names every registered protocol.
+    pub fn try_build(
+        &self,
+        name: &str,
+        params: &ProtocolParams,
+    ) -> Result<Box<dyn RateAdapter>, UnknownProtocolError> {
+        Ok(self.resolve(name)?(params))
+    }
+
     /// True when `name` resolves to a registered protocol.
     pub fn contains(&self, name: &str) -> bool {
         self.position(name).is_some()
@@ -185,6 +237,31 @@ mod tests {
         // Re-registering under a different case replaces, not duplicates.
         r.register("Fixed", |_| Box::new(Fixed));
         assert_eq!(r.names(), ["Fixed"]);
+    }
+
+    #[test]
+    fn failed_lookup_lists_registered_names() {
+        let r = ProtocolRegistry::builtin();
+        let err = r.try_build("warpdrive", &ProtocolParams::default());
+        let err = match err {
+            Err(e) => e,
+            Ok(_) => panic!("unknown name must not build"),
+        };
+        assert_eq!(err.name, "warpdrive");
+        // The message itself is the discovery surface: it must name the
+        // failing input and every registered protocol.
+        let msg = err.to_string();
+        assert_eq!(
+            msg,
+            "unknown protocol `warpdrive` (registered: HintAware, RapidSample, \
+             SampleRate, RRAA, RBAR, CHARM)"
+        );
+        assert_eq!(r.resolve("warpdrive").err().unwrap(), err);
+        // Custom registrations show up in the error too.
+        let mut custom = ProtocolRegistry::builtin();
+        custom.register("Fixed6", |_| Box::new(RapidSample::new()));
+        let msg = custom.try_build("nope", &ProtocolParams::default()).err();
+        assert!(msg.unwrap().to_string().contains("Fixed6"));
     }
 
     #[test]

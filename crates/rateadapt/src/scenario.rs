@@ -158,8 +158,9 @@ pub enum MotionSpec {
 }
 
 impl MotionSpec {
-    /// Validate against the scenario `duration`.
-    fn validate(&self, duration: SimDuration) -> Result<(), ScenarioError> {
+    /// Validate against the scenario `duration` (also reused per-client
+    /// by [`crate::fleet::FleetSpec`] validation).
+    pub(crate) fn validate(&self, duration: SimDuration) -> Result<(), ScenarioError> {
         let bad = |msg: String| Err(ScenarioError::BadMotion(msg));
         match self {
             MotionSpec::Stationary | MotionSpec::HalfAndHalf { .. } => Ok(()),
@@ -395,9 +396,10 @@ impl ScenarioSpec {
             return Err(ScenarioError::ZeroPayload);
         }
         if !registry.contains(&self.protocol.name) {
+            let e = registry.unknown(&self.protocol.name);
             return Err(ScenarioError::UnknownProtocol {
-                name: self.protocol.name.clone(),
-                known: registry.names().iter().map(|s| s.to_string()).collect(),
+                name: e.name,
+                known: e.known,
             });
         }
         Ok(())
@@ -466,6 +468,17 @@ pub enum ScenarioError {
         /// The names the registry does know.
         known: Vec<String>,
     },
+    /// A fleet spec is malformed (message says which field and why —
+    /// empty client/AP lists, placement outside the environment bounds,
+    /// bad handoff cadence, and so on; see [`crate::fleet::FleetSpec`]).
+    BadFleet(String),
+    /// The handoff policy name is not one the fleet engine knows.
+    UnknownHandoffPolicy {
+        /// The unresolvable name.
+        name: String,
+        /// The policy names that do exist.
+        known: Vec<String>,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -477,6 +490,12 @@ impl fmt::Display for ScenarioError {
             ScenarioError::UnknownProtocol { name, known } => write!(
                 f,
                 "unknown protocol `{name}` (registered: {})",
+                known.join(", ")
+            ),
+            ScenarioError::BadFleet(msg) => write!(f, "invalid fleet spec: {msg}"),
+            ScenarioError::UnknownHandoffPolicy { name, known } => write!(
+                f,
+                "unknown handoff policy `{name}` (known: {})",
                 known.join(", ")
             ),
         }

@@ -219,3 +219,64 @@ fn custom_environment_spec_runs_like_its_preset() {
         custom.run().expect("valid").result
     );
 }
+
+#[test]
+fn fleet_spec_round_trips_every_field() {
+    use hint_rateadapt::fleet::FleetSpec;
+    let spec = FleetSpec::builder()
+        .environment(EnvironmentSpec::Hallway)
+        .bounds(300.0, 80.0)
+        .ap(50.0, 40.0, 60.0)
+        .ap(250.0, 40.0, 60.0)
+        .client(
+            10.0,
+            40.0,
+            MotionSpec::Vehicle {
+                speed_mps: 8.0,
+                heading_deg: 90.0,
+            },
+            Workload::tcp(),
+        )
+        .client(20.0, 20.0, MotionSpec::Stationary, Workload::Udp)
+        .duration(SimDuration::from_secs(40))
+        .seed(99)
+        .protocol("SampleRate")
+        .hints(HintSpec::Oracle {
+            latency: SimDuration::from_millis(200),
+        })
+        .handoff_policy("hint-aware")
+        .scan_interval(SimDuration::from_millis(500))
+        .hysteresis(1.5)
+        .reassociation_cost(SimDuration::from_millis(80))
+        .payload_bytes(1500)
+        .validate()
+        .expect("valid fleet spec");
+    let reparsed = FleetSpec::from_json(&spec.to_json()).expect("parses back");
+    assert_eq!(reparsed, spec);
+    let pretty = FleetSpec::from_json(&spec.to_json_pretty()).expect("pretty parses back");
+    assert_eq!(pretty, spec);
+}
+
+#[test]
+fn fleet_validation_reuses_scenario_error_paths() {
+    use hint_rateadapt::fleet::FleetSpec;
+    use hint_rateadapt::scenario::ScenarioError;
+    let base = || {
+        FleetSpec::builder()
+            .ap(50.0, 40.0, 60.0)
+            .client(10.0, 40.0, MotionSpec::Stationary, Workload::Udp)
+            .duration(SimDuration::from_secs(10))
+    };
+    assert_eq!(
+        base().duration(SimDuration::ZERO).validate().err(),
+        Some(ScenarioError::ZeroDuration)
+    );
+    assert_eq!(
+        base().payload_bytes(0).validate().err(),
+        Some(ScenarioError::ZeroPayload)
+    );
+    // Unknown protocols surface through the same registry-backed error
+    // (message lists the registered names).
+    let err = base().protocol("warpdrive").validate().err().unwrap();
+    assert!(err.to_string().contains("registered: HintAware"));
+}

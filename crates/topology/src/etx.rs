@@ -16,12 +16,16 @@ use hint_sim::RngStream;
 /// Expected transmissions for one delivery over a link with delivery
 /// probability `p` (forward direction only, as in the Sec. 4.2 analysis).
 ///
-/// Returns `f64::INFINITY` for `p <= 0`.
+/// Returns `f64::INFINITY` for `p <= 0` — and for NaN, so the metric is
+/// total over all `f64` inputs (an unusable estimate scores as an
+/// unusable link) and anti-monotone in `p` everywhere it is finite.
 pub fn etx(p: f64) -> f64 {
-    if p <= 0.0 {
-        f64::INFINITY
-    } else {
+    // `p > 0.0` is false for NaN too, so the usable-link arm only ever
+    // sees strictly positive finite probabilities.
+    if p > 0.0 {
         1.0 / p.min(1.0)
+    } else {
+        f64::INFINITY
     }
 }
 
@@ -92,6 +96,8 @@ mod tests {
         assert_eq!(etx(-0.1), f64::INFINITY);
         // Clamped above 1.
         assert_eq!(etx(2.0), 1.0);
+        // Total: NaN estimates score as unusable, never propagate.
+        assert_eq!(etx(f64::NAN), f64::INFINITY);
     }
 
     #[test]

@@ -112,3 +112,39 @@ proptest! {
         }
     }
 }
+
+/// Replace a sampled float with a degenerate value on some tags (the
+/// shim's `any::<f64>()` only produces finite values).
+fn degenerate(v: f64, tag: usize) -> f64 {
+    match tag {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => v,
+    }
+}
+
+proptest! {
+    /// ETX is total over all float inputs — never NaN, never below 1 when
+    /// finite — and anti-monotone in delivery ratio: a better link never
+    /// costs more expected transmissions.
+    #[test]
+    fn etx_is_total_and_monotone_in_delivery(
+        p in any::<f64>(), q in any::<f64>(),
+        tag_p in 0usize..8, tag_q in 0usize..8,
+    ) {
+        let (p, q) = (degenerate(p, tag_p), degenerate(q, tag_q));
+        let (ep, eq) = (etx(p), etx(q));
+        prop_assert!(!ep.is_nan(), "etx({p}) is NaN");
+        prop_assert!(ep >= 1.0, "etx({p}) = {ep} below 1");
+        // Monotonicity: on the valid domain, p <= q implies etx(p) >= etx(q).
+        if p > 0.0 && q > 0.0 && p <= q {
+            prop_assert!(ep >= eq - 1e-12, "etx not anti-monotone: etx({p})={ep} < etx({q})={eq}");
+        }
+        // An unusable or nonsensical estimate scores as an unusable link.
+        let usable = p > 0.0;
+        if !usable {
+            prop_assert_eq!(ep, f64::INFINITY);
+        }
+    }
+}

@@ -1,28 +1,35 @@
-//! `scenario_run` — execute a JSON [`ScenarioSpec`] file from the command
-//! line.
+//! `scenario_run` — execute a JSON [`ScenarioSpec`] or [`FleetSpec`]
+//! file from the command line.
 //!
-//! The spec file is the whole experiment: environment × motion × duration
-//! × seed × workload × protocol-by-name × hint configuration. New
-//! scenarios therefore need zero new Rust — write a JSON file and run it:
+//! The spec file is the whole experiment. A single-link spec is
+//! environment × motion × duration × seed × workload × protocol-by-name
+//! × hint configuration; a **fleet** spec (any JSON object with a
+//! `clients` field) adds AP placement, per-client motion/workload, and a
+//! handoff policy by name, and runs N clients against M APs through the
+//! fleet engine. New scenarios therefore need zero new Rust — write a
+//! JSON file and run it:
 //!
 //! ```text
 //! scenario_run scenarios/mixed_office_tcp.json
 //! scenario_run scenarios/vehicular_udp.json --json
+//! scenario_run scenarios/fleet_office_walk.json
 //! ```
 //!
 //! Spec-driven runs are bit-identical to the equivalent hand-coded
-//! builder runs (same seeds ⇒ same `SimResult`); the schema is documented
-//! in EXPERIMENTS.md ("Scenario spec files").
+//! builder runs (same seeds ⇒ same results); the schemas are documented
+//! in EXPERIMENTS.md ("Scenario spec files" and "Fleet spec files").
 
+use sensor_hints::fleet::FleetScenario;
 use sensor_hints::mac::BitRate;
+use sensor_hints::rateadapt::fleet::FleetSpec;
 use sensor_hints::rateadapt::scenario::ScenarioSpec;
-use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: scenario_run <spec.json> [--json]\n\
-       <spec.json>  a ScenarioSpec file (schema: EXPERIMENTS.md)\n\
-       --json       print the full ScenarioOutcome as JSON instead of\n\
-                    the human-readable summary";
+       <spec.json>  a ScenarioSpec or FleetSpec file (schema: EXPERIMENTS.md);\n\
+                    a spec with a `clients` field runs as a fleet\n\
+       --json       print the full outcome as JSON instead of the\n\
+                    human-readable summary";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,18 +54,36 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let spec = match ScenarioSpec::load(Path::new(path)) {
-        Ok(spec) => spec,
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("scenario_run: cannot load {path}: {e}");
-            // Malformed spec content is the same user-error class as a
-            // spec that fails validation: exit 2. Everything else
-            // (missing file, permissions) is an environment failure.
-            return if e.kind() == std::io::ErrorKind::InvalidData {
-                ExitCode::from(2)
-            } else {
-                ExitCode::FAILURE
-            };
+            return ExitCode::FAILURE;
+        }
+    };
+    // Dispatch by parsing: the two schemas are disjoint (a fleet spec
+    // has no `motion`/`workload` at top level, a single-link spec has no
+    // `clients`), so whichever parses is the kind the file is. When
+    // neither parses, report the error for the family the file most
+    // resembles — the `clients` key only appears as a field name in
+    // fleet specs.
+    let spec = match ScenarioSpec::from_json(&text) {
+        Ok(spec) => spec,
+        Err(single_err) => {
+            match FleetSpec::from_json(&text) {
+                Ok(fleet_spec) => return run_fleet(path, fleet_spec, json),
+                Err(fleet_err) => {
+                    // Malformed spec content is the same user-error
+                    // class as a spec that fails validation: exit 2.
+                    let e: &dyn std::fmt::Display = if text.contains("\"clients\"") {
+                        &fleet_err
+                    } else {
+                        &single_err
+                    };
+                    eprintln!("scenario_run: cannot load {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
     };
     let scenario = match spec.compile() {
@@ -114,6 +139,73 @@ fn main() -> ExitCode {
                 " ".repeat(40 - filled)
             );
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compile, run and print an already-parsed fleet spec.
+fn run_fleet(path: &str, spec: FleetSpec, json: bool) -> ExitCode {
+    let fleet = match FleetScenario::compile(&spec) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("scenario_run: invalid spec {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = fleet.run();
+
+    if json {
+        println!("{}", outcome.to_json_pretty());
+        return ExitCode::SUCCESS;
+    }
+
+    println!("fleet       : {path}");
+    println!("environment : {}", outcome.environment);
+    println!("protocol    : {}", outcome.protocol);
+    println!("policy      : {}", outcome.policy);
+    println!("duration    : {}", spec.duration);
+    println!("seed        : {}", spec.seed);
+    println!(
+        "fleet       : {} clients x {} APs on {} x {} m",
+        spec.clients.len(),
+        spec.aps.len(),
+        spec.bounds.width_m,
+        spec.bounds.height_m
+    );
+    println!();
+    println!(
+        "handoffs    : {} total, {} forced (coverage loss)",
+        outcome.total_handoffs, outcome.forced_handoffs
+    );
+    println!(
+        "aggregate   : {:.2} Mbit/s, Jain fairness {:.3}",
+        outcome.aggregate_goodput_mbps, outcome.jain_fairness
+    );
+    println!();
+    println!("clients:");
+    for c in &outcome.clients {
+        let aps: Vec<String> = c.aps_visited.iter().map(|a| format!("AP{a}")).collect();
+        println!(
+            "  {:>3}  {:>7.2} Mbit/s  {:>2} handoffs ({} forced)  outage {:>8}  path {}",
+            c.client,
+            c.outcome.goodput_mbps(),
+            c.handoffs,
+            c.forced_handoffs,
+            c.outage.to_string(),
+            if aps.is_empty() {
+                "(never associated)".to_string()
+            } else {
+                aps.join(" -> ")
+            }
+        );
+    }
+    println!();
+    println!("aps:");
+    for (i, ap) in outcome.aps.iter().enumerate() {
+        println!(
+            "  AP{i}  {:>7.1} client-s associated  {:>2} handoffs in  {:>6.2} s ghost airtime",
+            ap.association_s, ap.handoffs_in, ap.wasted_airtime_s
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,108 @@
+//! `scenario_run` CLI contract: valid specs (single-link and fleet) exit
+//! 0; malformed or invalid specs exit 2 with an actionable message on
+//! stderr; missing files are environment failures (exit 1).
+
+use sensor_hints::rateadapt::fleet::{FleetOutcome, FleetSpec};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scenario_run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scenario_run"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("scenario_run executes")
+}
+
+fn checked_in_fleet() -> FleetSpec {
+    FleetSpec::load(&Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/fleet_office_walk.json"))
+        .expect("checked-in fleet spec loads")
+}
+
+fn save_temp(name: &str, spec: &FleetSpec) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("scenario_run_cli_{name}"));
+    spec.save(&path).expect("temp spec written");
+    path
+}
+
+#[test]
+fn checked_in_specs_run_cleanly() {
+    for spec in [
+        "scenarios/mixed_office_tcp.json",
+        "scenarios/vehicular_udp.json",
+        "scenarios/fleet_office_walk.json",
+    ] {
+        let out = scenario_run(&[spec]);
+        assert!(out.status.success(), "{spec}: {out:?}");
+    }
+    // --json emits a parseable fleet outcome.
+    let out = scenario_run(&["scenarios/fleet_office_walk.json", "--json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let outcome = FleetOutcome::from_json(&text).expect("fleet outcome parses");
+    assert_eq!(outcome.policy, "hint-etx");
+    assert!(outcome.total_handoffs >= 2);
+}
+
+#[test]
+fn malformed_fleet_specs_exit_two_with_actionable_stderr() {
+    let mut zero_clients = checked_in_fleet();
+    zero_clients.clients.clear();
+    let path = save_temp("zero_clients.json", &zero_clients);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("at least one client"), "{err}");
+
+    let mut bad_policy = checked_in_fleet();
+    bad_policy.handoff.policy = "teleport".into();
+    let path = save_temp("bad_policy.json", &bad_policy);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown handoff policy `teleport`"), "{err}");
+    assert!(err.contains("strongest-signal"), "must list names: {err}");
+
+    let mut oob_ap = checked_in_fleet();
+    oob_ap.aps[1].x_m = 960.0;
+    let path = save_temp("oob_ap.json", &oob_ap);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("outside the environment bounds"), "{err}");
+
+    // Unparseable JSON with a clients field still routes to the fleet
+    // parser and exits 2.
+    let garbage = std::env::temp_dir().join("scenario_run_cli_garbage.json");
+    std::fs::write(&garbage, "{\"clients\": [not json").expect("temp file");
+    let out = scenario_run(&[garbage.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_is_an_environment_failure() {
+    let out = scenario_run(&["/nonexistent/fleet.json"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn single_link_spec_with_clients_in_a_string_value_is_not_misrouted() {
+    // A custom environment whose *name* is "clients": dispatch must key
+    // off the parsed schema, not a substring of the file.
+    use sensor_hints::channel::Environment;
+    use sensor_hints::rateadapt::scenario::{EnvironmentSpec, ScenarioBuilder};
+    use sensor_hints::sim::SimDuration;
+    let mut env = Environment::office();
+    env.name = "clients".to_string();
+    let spec = ScenarioBuilder::new()
+        .environment(EnvironmentSpec::Custom(env))
+        .duration(SimDuration::from_secs(2))
+        .seed(1)
+        .into_spec();
+    let path = std::env::temp_dir().join("scenario_run_cli_clients_env.json");
+    spec.save(&path).expect("temp spec written");
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("environment : clients"), "{stdout}");
+}
