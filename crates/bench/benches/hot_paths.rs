@@ -141,6 +141,24 @@ fn bench_fleet(c: &mut Criterion) {
     c.bench_function("fleet/run_10s_2c_2ap", |b| {
         b.iter(|| black_box(fleet.run()));
     });
+
+    // Four saturated clients sharing one AP's medium for 10 s: the
+    // contended hot path — span bookkeeping plus per-epoch CSMA/CA
+    // arbitration plus share-throttled link simulation. Same floor as
+    // the fig_contention sweep and the checked-in contended scenario.
+    let contended = hint_bench::contention::contended_office_fleet(
+        4,
+        "strongest-signal",
+        hint_rateadapt::scenario::HintSpec::None,
+        hint_rateadapt::fleet::MediumSpec::shared(),
+        SimDuration::from_secs(10),
+    );
+    let contended = sensor_hints::fleet::FleetScenario::compile(&contended)
+        .expect("valid contended bench fleet");
+
+    c.bench_function("fleet/contended_10s_4c_1ap", |b| {
+        b.iter(|| black_box(contended.run()));
+    });
 }
 
 criterion_group!(

@@ -1,0 +1,5 @@
+//! Regenerates the shared-medium contention sweep (per-AP aggregate
+//! saturation and hint airtime savings, 1-8 clients per AP).
+fn main() {
+    hint_bench::contention::run();
+}

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod contention;
 pub mod etx_overhead;
 pub mod extensions;
 pub mod fig_2_2;

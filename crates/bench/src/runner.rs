@@ -12,7 +12,7 @@
 //! pulling job indices from one atomic counter.
 
 use crate::report::Report;
-use crate::{ablations, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1};
+use crate::{ablations, contention, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1};
 use crate::{fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, fleet, route_stability, table_5_1};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -141,6 +141,11 @@ pub fn full_battery() -> Vec<Job> {
             "fig_fleet",
             "Multi-client fleet: hint-aware association/handoff (Sec. 5.2)",
             || fleet::report().0,
+        ),
+        Job::new(
+            "fig_contention",
+            "Shared-medium contention: aggregate saturation, 1-8 clients/AP",
+            || contention::report().0,
         ),
         Job::new(
             "ablation_delta_success",
@@ -405,7 +410,7 @@ mod tests {
 
     #[test]
     fn batteries_have_expected_sizes() {
-        assert_eq!(full_battery().len(), 22);
+        assert_eq!(full_battery().len(), 23);
         assert_eq!(smoke_battery().len(), 8);
     }
 
@@ -432,7 +437,7 @@ mod tests {
             names,
             ["fig_3_1", "fig_3_5", "fig_3_6", "fig_3_7", "fig_3_8"]
         );
-        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 22);
+        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 23);
     }
 
     #[test]
@@ -449,7 +454,7 @@ mod tests {
     #[test]
     fn battery_index_lists_every_name_and_description() {
         let index = battery_index(&full_battery());
-        assert_eq!(index.lines().count(), 22);
+        assert_eq!(index.lines().count(), 23);
         // Aligned two-column format: name, padding, description.
         let width = full_battery().iter().map(|j| j.name().len()).max().unwrap();
         for (line, job) in index.lines().zip(full_battery()) {

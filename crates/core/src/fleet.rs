@@ -36,11 +36,14 @@
 use crate::neighbors::NeighborHints;
 use hint_ap::association::{predicted_dwell_s, should_handoff, ApCandidate, ClientMotion};
 use hint_ap::disassociation::DisassociationPolicy;
+use hint_channel::delivery::best_rate_for_snr;
 use hint_channel::{delivery_table, Environment, Trace};
+use hint_mac::contention::{AirtimeArbiter, ContentionParams, Station};
 use hint_mac::hint_proto::HintField;
 use hint_mac::{BitRate, MacTiming};
 use hint_rateadapt::fleet::{
-    jain_index, FleetApStats, FleetClientOutcome, FleetOutcome, FleetSpec, HandoffPolicy,
+    jain_index, ContentionMode, FleetApStats, FleetClientOutcome, FleetOutcome, FleetSpec,
+    HandoffPolicy,
 };
 use hint_rateadapt::protocols::registry::{AdapterFactory, ProtocolRegistry};
 use hint_rateadapt::scenario::{HintSpec, ScenarioError, ScenarioOutcome, HINT_SEED_MASK};
@@ -48,6 +51,8 @@ use hint_rateadapt::{HintStream, LinkSimulator, SimResult};
 use hint_sensors::gps::Position;
 use hint_sensors::motion::{MotionProfile, MotionSegment};
 use hint_sim::{EventQueue, RngStream, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Assumed receiver noise floor, dBm: scan-time RSSI is the link's mean
 /// SNR re-referenced to it.
@@ -63,6 +68,12 @@ const PRUNE_AFTER: SimDuration = SimDuration::from_secs(10);
 
 /// Gentle probe cadence for hint-quarantined clients.
 const PROBE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// Delivery-probability target used to pick a station's nominal
+/// contention rate from its link SNR (the RBAR-style decision rule):
+/// the arbiter needs a representative frame airtime per station before
+/// the per-span traffic simulation has run.
+const CONTENTION_RATE_TARGET: f64 = 0.9;
 
 /// Mean SNR (dB) of a client↔AP link at distance `dist_m` from an AP
 /// with usable radius `coverage_m`, in environment `env`: the
@@ -173,6 +184,8 @@ pub struct FleetScenario {
     spec: FleetSpec,
     env: Environment,
     policy: HandoffPolicy,
+    contention: ContentionMode,
+    arbiter_params: ContentionParams,
     protocol_name: String,
     factory: AdapterFactory,
     profiles: Vec<MotionProfile>,
@@ -226,6 +239,14 @@ impl FleetScenario {
         spec.validate_with(registry)?;
         let env = spec.environment.resolve();
         let policy = spec.policy().expect("validated above");
+        let contention = spec.contention().expect("validated above");
+        let arbiter_params = ContentionParams {
+            slot: spec.medium.slot,
+            difs: spec.medium.difs,
+            cw_min: spec.medium.cw_min,
+            cw_max: spec.medium.cw_max,
+            ..ContentionParams::ieee80211a()
+        };
         let protocol_name = registry
             .canonical_name(&spec.protocol.name)
             .expect("validated above")
@@ -275,6 +296,8 @@ impl FleetScenario {
             spec: spec.clone(),
             env,
             policy,
+            contention,
+            arbiter_params,
             protocol_name,
             factory,
             profiles,
@@ -513,6 +536,97 @@ impl FleetScenario {
         }
 
         // ------------------------------------------------------------------
+        // Phase A': shared-medium arbitration. With `contention: shared`,
+        // every (AP, scheduling epoch) whose association spans put two or
+        // more clients on one medium runs the CSMA/CA arbiter; each
+        // client's granted airtime becomes a per-second share that
+        // throttles its span traffic in Phase B. Epochs with at most one
+        // client bypass the arbiter (the paper's uncontended back-to-back
+        // sender), so a one-client fleet behaves like an isolated one.
+        // ------------------------------------------------------------------
+        let mut epoch_shares: HashMap<(usize, u64, usize), f64> = HashMap::new();
+        let mut ap_busy_s = vec![0.0f64; n_aps];
+        let mut ap_collision_s = vec![0.0f64; n_aps];
+        let mut ap_collisions = vec![0u32; n_aps];
+        let epoch_us = self.spec.medium.epoch.as_micros();
+        if self.contention == ContentionMode::Shared {
+            let mut ap_spans: Vec<Vec<(usize, SimTime, SimTime)>> = vec![Vec::new(); n_aps];
+            for (c, run) in runs.iter().enumerate() {
+                for &(from, to, ap) in &run.spans {
+                    if to > from {
+                        ap_spans[ap].push((c, from, to));
+                    }
+                }
+            }
+            let medium_root = RngStream::new(self.spec.seed).derive("fleet-medium");
+            let arbiter = AirtimeArbiter::new(self.arbiter_params);
+            let n_epochs = duration.as_micros().div_ceil(epoch_us);
+            for (a, spans) in ap_spans.iter().enumerate() {
+                if spans.is_empty() {
+                    continue;
+                }
+                let ap_pos = Position {
+                    x: self.spec.aps[a].x_m,
+                    y: self.spec.aps[a].y_m,
+                };
+                for e in 0..n_epochs {
+                    let e_start = e * epoch_us;
+                    let e_end = ((e + 1) * epoch_us).min(duration.as_micros());
+                    // Per-client association window inside this epoch
+                    // (multiple spans merge to their envelope), in client
+                    // order so station indices are deterministic.
+                    let mut windows: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+                    for &(c, from, to) in spans {
+                        let f = from.as_micros().max(e_start);
+                        let t = to.as_micros().min(e_end);
+                        if t > f {
+                            let w = windows.entry(c).or_insert((f, t));
+                            w.0 = w.0.min(f);
+                            w.1 = w.1.max(t);
+                        }
+                    }
+                    if windows.len() < 2 {
+                        continue; // uncontended epoch
+                    }
+                    let members: Vec<usize> = windows.keys().copied().collect();
+                    let stations: Vec<Station> = members
+                        .iter()
+                        .map(|&c| {
+                            let (f, t) = windows[&c];
+                            // Nominal operating rate from the link SNR at
+                            // the window midpoint (RBAR-style decision).
+                            let mid = SimTime::from_micros((f + t) / 2);
+                            let dist = self.paths[c].position_at(mid).distance(ap_pos);
+                            let snr = link_snr_db(&self.env, dist, self.spec.aps[a].coverage_m);
+                            let rate = best_rate_for_snr(snr, CONTENTION_RATE_TARGET);
+                            Station {
+                                frame_airtime: MacTiming::ieee80211a()
+                                    .exchange_airtime(rate, self.spec.payload_bytes),
+                                active_from: SimDuration::from_micros(f - e_start),
+                                active_to: SimDuration::from_micros(t - e_start),
+                            }
+                        })
+                        .collect();
+                    let seed = medium_root
+                        .derive_idx("ap", a as u64)
+                        .derive_idx("epoch", e)
+                        .seed();
+                    let sched = arbiter.arbitrate(
+                        SimDuration::from_micros(e_end - e_start),
+                        &stations,
+                        seed,
+                    );
+                    ap_busy_s[a] += sched.busy().as_secs_f64();
+                    ap_collision_s[a] += sched.collision_airtime.as_secs_f64();
+                    ap_collisions[a] += sched.collisions;
+                    for (i, &c) in members.iter().enumerate() {
+                        epoch_shares.insert((a, e, c), sched.share(i, &stations));
+                    }
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------
         // Phase B: per-span link traffic.
         // ------------------------------------------------------------------
         let mut client_outcomes = Vec::with_capacity(n_clients);
@@ -559,6 +673,22 @@ impl FleetScenario {
                 if let Some(stream) = self.span_hints(&span_profile, span, span_seed) {
                     sim = sim.with_owned_hints(stream);
                 }
+                if self.contention == ContentionMode::Shared {
+                    // Trace second k of the span runs at the share the
+                    // arbiter granted this client for the epoch containing
+                    // that second's start.
+                    let n_secs = span.as_secs_f64().ceil() as usize;
+                    let span_shares: Vec<f64> = (0..n_secs)
+                        .map(|k| {
+                            let t_us = from.as_micros() + k as u64 * 1_000_000;
+                            epoch_shares
+                                .get(&(ap_id, t_us / epoch_us, c))
+                                .copied()
+                                .unwrap_or(1.0)
+                        })
+                        .collect();
+                    sim = sim.with_airtime_shares(span_shares);
+                }
                 let mut adapter = (self.factory)(&self.spec.protocol.params());
                 let result = sim.run(adapter.as_mut(), self.spec.clients[c].workload);
 
@@ -601,6 +731,7 @@ impl FleetScenario {
             environment: self.env.name.clone(),
             protocol: self.protocol_name.clone(),
             policy: self.policy.name().to_string(),
+            contention: self.contention.name().to_string(),
             seed: self.spec.seed,
             total_handoffs: client_outcomes.iter().map(|c| c.handoffs).sum(),
             forced_handoffs: client_outcomes.iter().map(|c| c.forced_handoffs).sum(),
@@ -612,6 +743,9 @@ impl FleetScenario {
                     association_s: ap_assoc_s[a],
                     handoffs_in: ap_handoffs_in[a],
                     wasted_airtime_s: ap_wasted_s[a],
+                    contended_busy_s: ap_busy_s[a],
+                    collision_s: ap_collision_s[a],
+                    collisions: ap_collisions[a],
                 })
                 .collect(),
         }
@@ -678,6 +812,7 @@ impl FleetScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hint_rateadapt::fleet::MediumSpec;
     use hint_rateadapt::scenario::MotionSpec;
     use hint_rateadapt::Workload;
 
@@ -836,6 +971,130 @@ mod tests {
             "association_s {}",
             out.aps[0].association_s
         );
+    }
+
+    /// `n` stationary clients parked at staggered distances around one
+    /// AP — the canonical contention geometry.
+    fn parked_fleet(n: usize, medium: MediumSpec) -> FleetSpec {
+        let mut b = FleetSpec::builder()
+            .bounds(140.0, 100.0)
+            .ap(70.0, 50.0, 65.0)
+            .duration(SimDuration::from_secs(12))
+            .seed(0xC0117E57)
+            .handoff_policy("strongest-signal")
+            .medium(medium);
+        for i in 0..n {
+            let angle = i as f64 * 2.399; // golden angle: spread, no overlap
+            let r = 8.0 + 3.0 * i as f64;
+            b = b.client(
+                70.0 + r * angle.cos(),
+                50.0 + r * angle.sin(),
+                MotionSpec::Stationary,
+                Workload::Udp,
+            );
+        }
+        b.into_spec()
+    }
+
+    #[test]
+    fn shared_medium_saturates_per_ap_throughput() {
+        let run = |n: usize, medium: MediumSpec| {
+            FleetScenario::compile(&parked_fleet(n, medium))
+                .expect("valid")
+                .run()
+        };
+        let isolated = run(4, MediumSpec::isolated());
+        let shared = run(4, MediumSpec::shared());
+        // Contention makes per-AP aggregate throughput sub-additive.
+        assert!(
+            shared.aggregate_goodput_mbps < isolated.aggregate_goodput_mbps * 0.7,
+            "shared {} vs isolated {}",
+            shared.aggregate_goodput_mbps,
+            isolated.aggregate_goodput_mbps
+        );
+        // Nobody starves, and the medium accounting is visible.
+        for c in &shared.clients {
+            assert!(c.outcome.result.goodput_bps > 0.0, "client {}", c.client);
+        }
+        assert_eq!(shared.contention, "shared");
+        assert!(shared.aps[0].contended_busy_s > 0.0);
+        assert!(shared.jain_fairness > 0.5, "{}", shared.jain_fairness);
+        // A lone client never contends: shared == its own isolated run.
+        let solo_shared = run(1, MediumSpec::shared());
+        let solo_isolated = run(1, MediumSpec::isolated());
+        assert_eq!(
+            solo_shared.aggregate_goodput_mbps,
+            solo_isolated.aggregate_goodput_mbps
+        );
+        assert_eq!(solo_shared.aps[0].contended_busy_s, 0.0);
+    }
+
+    #[test]
+    fn shared_fleet_runs_are_bit_identical() {
+        let fleet = FleetScenario::compile(&parked_fleet(3, MediumSpec::shared())).expect("valid");
+        let a = fleet.run();
+        let b = fleet.run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        let again = FleetScenario::compile(&parked_fleet(3, MediumSpec::shared()))
+            .expect("valid")
+            .run();
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn shared_outcome_serializes_contention_and_round_trips() {
+        let out = FleetScenario::compile(&parked_fleet(3, MediumSpec::shared()))
+            .expect("valid")
+            .run();
+        let json = out.to_json_pretty();
+        assert!(json.contains("\"contention\": \"shared\""), "{json}");
+        assert!(json.contains("contended_busy_s"), "{json}");
+        let back = FleetOutcome::from_json(&json).expect("parses");
+        assert_eq!(back, out);
+        // Isolated outcomes keep the pre-contention schema exactly.
+        let iso = FleetScenario::compile(&parked_fleet(3, MediumSpec::isolated()))
+            .expect("valid")
+            .run();
+        let iso_json = iso.to_json_pretty();
+        assert!(!iso_json.contains("contention"), "{iso_json}");
+        assert!(!iso_json.contains("contended_busy_s"), "{iso_json}");
+    }
+
+    #[test]
+    fn degenerate_fleet_with_unassociated_client_stays_total() {
+        // One client parked far outside the only AP's coverage: it never
+        // associates, moves no traffic, and must not poison any statistic
+        // with NaN — under either medium model.
+        for medium in [MediumSpec::isolated(), MediumSpec::shared()] {
+            let spec = FleetSpec::builder()
+                .bounds(400.0, 100.0)
+                .ap(40.0, 50.0, 50.0)
+                .client(30.0, 50.0, MotionSpec::Stationary, Workload::Udp)
+                .client(390.0, 50.0, MotionSpec::Stationary, Workload::Udp)
+                .duration(SimDuration::from_secs(10))
+                .seed(5)
+                .handoff_policy("strongest-signal")
+                .medium(medium)
+                .into_spec();
+            let out = FleetScenario::compile(&spec).expect("valid").run();
+            let dark = &out.clients[1];
+            assert!(dark.aps_visited.is_empty());
+            assert_eq!(dark.outcome.result.goodput_bps, 0.0);
+            assert_eq!(dark.outage, SimDuration::from_secs(10));
+            assert!(out.jain_fairness.is_finite());
+            assert!(out.jain_fairness > 0.0 && out.jain_fairness <= 1.0);
+            assert!(out.aggregate_goodput_mbps.is_finite());
+            for ap in &out.aps {
+                assert!(ap.association_s.is_finite());
+                assert!(ap.wasted_airtime_s.is_finite());
+                assert!(ap.contended_busy_s.is_finite());
+                assert!(ap.collision_s.is_finite());
+            }
+            // Everything serializes to finite JSON and round-trips.
+            let back = FleetOutcome::from_json(&out.to_json_pretty()).expect("parses");
+            assert_eq!(back, out);
+        }
     }
 
     #[test]

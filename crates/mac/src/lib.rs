@@ -17,6 +17,10 @@
 //!   stuffed into ACK flags and the general two-byte TLV hint field, with
 //!   graceful coexistence with hint-oblivious legacy nodes.
 //! * [`retry`] — the retry-chain policy used by the AP model.
+//! * [`contention`] — the CSMA/CA airtime arbiter: DIFS + slotted
+//!   backoff + collision/retry accounting over a scheduling epoch, used
+//!   by the fleet engine to make co-associated clients share their AP's
+//!   medium instead of running isolated links.
 //! * [`phy_adapt`] — hint-driven PHY parameter adaptation (Sec. 5.3):
 //!   cyclic-prefix selection from the GPS-lock hint and frame-size capping
 //!   from the speed hint.
@@ -24,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contention;
 pub mod frames;
 pub mod hint_proto;
 pub mod phy_adapt;
@@ -31,6 +36,7 @@ pub mod rates;
 pub mod retry;
 pub mod timing;
 
+pub use contention::{AirtimeArbiter, ContentionParams, Grant, GrantSchedule, Station};
 pub use frames::{Frame, FrameKind};
 pub use hint_proto::{HintField, HintType, HintWire};
 pub use rates::BitRate;

@@ -28,7 +28,7 @@ use crate::scenario::{
 };
 use crate::workload::Workload;
 use hint_sim::SimDuration;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::io;
 use std::path::Path;
 
@@ -153,10 +153,239 @@ impl Default for HandoffSpec {
     }
 }
 
+/// How co-associated clients treat their AP's medium.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContentionMode {
+    /// Every association span runs an independent per-link simulation —
+    /// per-AP throughput is additive in clients (the pre-contention
+    /// behaviour; existing outcomes stay byte-identical).
+    Isolated,
+    /// Clients associated to one AP contend for its airtime through the
+    /// CSMA/CA arbiter (`hint_mac::contention`): DIFS + slotted backoff,
+    /// collisions, and retry accounting split the epoch, so per-AP
+    /// aggregate throughput saturates as clients are added.
+    Shared,
+}
+
+/// The names [`ContentionMode::from_name`] accepts, in canonical form.
+pub const CONTENTION_MODE_NAMES: [&str; 2] = ["isolated", "shared"];
+
+/// Largest accepted contention window, slots (well past 802.11's 1023,
+/// far below anything that could overflow the arbiter's arithmetic).
+pub const MAX_MEDIUM_CW: u32 = 65_535;
+
+impl ContentionMode {
+    /// Parse a mode by its JSON name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ContentionMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "isolated" => Some(ContentionMode::Isolated),
+            "shared" => Some(ContentionMode::Shared),
+            _ => None,
+        }
+    }
+
+    /// The canonical spec/outcome name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ContentionMode::Isolated => "isolated",
+            ContentionMode::Shared => "shared",
+        }
+    }
+}
+
+fn default_medium_slot() -> SimDuration {
+    SimDuration::from_micros(9)
+}
+fn default_medium_difs() -> SimDuration {
+    SimDuration::from_micros(34)
+}
+fn default_medium_cw_min() -> u32 {
+    15
+}
+fn default_medium_cw_max() -> u32 {
+    1023
+}
+fn default_medium_epoch() -> SimDuration {
+    SimDuration::from_secs(1)
+}
+
+/// The shared-medium model of a fleet: whether co-associated clients
+/// contend for their AP's airtime, and with what DCF parameters.
+///
+/// Serialized with every field after `contention` optional, so a spec
+/// file can say just `"medium": {"contention": "shared"}` and get
+/// standard 802.11a DCF; the field itself is optional on [`FleetSpec`]
+/// and absent specs (every pre-contention spec file) default to
+/// `isolated`, which reproduces the previous engine behaviour
+/// byte-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MediumSpec {
+    /// Contention mode by name (see [`CONTENTION_MODE_NAMES`]).
+    pub contention: String,
+    /// Backoff slot time (default 9 µs, 802.11a).
+    pub slot: SimDuration,
+    /// DCF interframe space paid before every backoff (default 34 µs).
+    pub difs: SimDuration,
+    /// Minimum contention window, slots (default 15).
+    pub cw_min: u32,
+    /// Maximum contention window, slots (default 1023).
+    pub cw_max: u32,
+    /// Scheduling epoch over which airtime is arbitrated (default 1 s).
+    pub epoch: SimDuration,
+}
+
+// The serde shim's derive does not support field attributes, and the
+// medium schema needs optional fields with defaults (so spec files can
+// say just `{"contention": "shared"}`, and so pre-contention files and
+// outcomes stay byte-identical). These four impls hand-roll what
+// `#[serde(default)]` / `#[serde(skip_serializing_if)]` would generate,
+// against the same `to_value`/`from_value` conventions the derive uses.
+
+/// Look up a required object field (derive-compatible error message).
+fn req<'v>(fields: &'v [(String, Value)], name: &str, ty: &str) -> Result<&'v Value, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}` in {ty}")))
+}
+
+/// Look up an optional object field, falling back to `default`.
+fn opt<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(default()),
+    }
+}
+
+fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(DeError::expected(ty, other)),
+    }
+}
+
+impl Serialize for MediumSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("contention".to_string(), self.contention.to_value()),
+            ("slot".to_string(), self.slot.to_value()),
+            ("difs".to_string(), self.difs.to_value()),
+            ("cw_min".to_string(), self.cw_min.to_value()),
+            ("cw_max".to_string(), self.cw_max.to_value()),
+            ("epoch".to_string(), self.epoch.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MediumSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = as_object(v, "MediumSpec")?;
+        Ok(MediumSpec {
+            contention: Deserialize::from_value(req(fields, "contention", "MediumSpec")?)?,
+            slot: opt(fields, "slot", default_medium_slot)?,
+            difs: opt(fields, "difs", default_medium_difs)?,
+            cw_min: opt(fields, "cw_min", default_medium_cw_min)?,
+            cw_max: opt(fields, "cw_max", default_medium_cw_max)?,
+            epoch: opt(fields, "epoch", default_medium_epoch)?,
+        })
+    }
+}
+
+impl Default for MediumSpec {
+    fn default() -> Self {
+        MediumSpec::isolated()
+    }
+}
+
+impl MediumSpec {
+    /// The default medium: isolated per-link simulation (today's
+    /// behaviour; per-AP throughput is additive in clients).
+    pub fn isolated() -> Self {
+        MediumSpec {
+            contention: ContentionMode::Isolated.name().to_string(),
+            slot: default_medium_slot(),
+            difs: default_medium_difs(),
+            cw_min: default_medium_cw_min(),
+            cw_max: default_medium_cw_max(),
+            epoch: default_medium_epoch(),
+        }
+    }
+
+    /// A shared medium with standard 802.11a DCF parameters.
+    pub fn shared() -> Self {
+        MediumSpec {
+            contention: ContentionMode::Shared.name().to_string(),
+            ..MediumSpec::isolated()
+        }
+    }
+
+    /// The contention mode this spec selects, if the name is known.
+    pub fn mode(&self) -> Option<ContentionMode> {
+        ContentionMode::from_name(&self.contention)
+    }
+
+    /// True when this is exactly the default (isolated, standard DCF)
+    /// medium — used to keep pre-contention spec files serializing
+    /// without a `medium` field.
+    pub fn is_default(&self) -> bool {
+        *self == MediumSpec::default()
+    }
+
+    /// Validate the medium parameters, returning an actionable message
+    /// for the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mode().is_none() {
+            return Err(format!(
+                "unknown medium contention mode `{}` (known: {})",
+                self.contention,
+                CONTENTION_MODE_NAMES.join(", ")
+            ));
+        }
+        if self.slot.is_zero() {
+            return Err(
+                "medium slot time must be positive (backoff could never elapse); \
+                 802.11a uses 9 us"
+                    .into(),
+            );
+        }
+        if self.difs.is_zero() {
+            return Err(
+                "medium DIFS must be positive (channel access could never be sensed); \
+                 802.11a uses 34 us"
+                    .into(),
+            );
+        }
+        if self.cw_min > self.cw_max {
+            return Err(format!(
+                "medium backoff window min {} exceeds max {}; cw_min must be <= cw_max",
+                self.cw_min, self.cw_max
+            ));
+        }
+        if self.cw_max > MAX_MEDIUM_CW {
+            return Err(format!(
+                "medium backoff window max {} exceeds the supported limit {MAX_MEDIUM_CW} \
+                 (802.11 uses at most 1023 slots)",
+                self.cw_max
+            ));
+        }
+        if self.epoch.is_zero() {
+            return Err(
+                "medium scheduling epoch must be positive (airtime is arbitrated per epoch)".into(),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// A complete, serializable description of one multi-client fleet
 /// experiment. Durations serialize as integer microseconds, like every
 /// scenario field (schema: EXPERIMENTS.md, "Fleet spec files").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FleetSpec {
     /// Shared channel environment (per-link SNR statistics; the fleet
     /// engine offsets the mean per link by AP distance).
@@ -179,6 +408,11 @@ pub struct FleetSpec {
     pub hints: HintSpec,
     /// Association/handoff policy and cadence.
     pub handoff: HandoffSpec,
+    /// Shared-medium model: whether co-associated clients contend for
+    /// their AP's airtime. Optional in JSON (and skipped when default),
+    /// so absent — as in every pre-contention spec file — means
+    /// `isolated`, which reproduces the per-link engine byte-identically.
+    pub medium: MediumSpec,
     /// Link payload size, bytes.
     pub payload_bytes: u32,
 }
@@ -198,8 +432,50 @@ impl Default for FleetSpec {
             protocol: ProtocolSpec::default(),
             hints: HintSpec::Sensors { seed: None },
             handoff: HandoffSpec::default(),
+            medium: MediumSpec::default(),
             payload_bytes: 1000,
         }
+    }
+}
+
+impl Serialize for FleetSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("environment".to_string(), self.environment.to_value()),
+            ("bounds".to_string(), self.bounds.to_value()),
+            ("aps".to_string(), self.aps.to_value()),
+            ("clients".to_string(), self.clients.to_value()),
+            ("duration".to_string(), self.duration.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+            ("hints".to_string(), self.hints.to_value()),
+            ("handoff".to_string(), self.handoff.to_value()),
+        ];
+        if !self.medium.is_default() {
+            fields.push(("medium".to_string(), self.medium.to_value()));
+        }
+        fields.push(("payload_bytes".to_string(), self.payload_bytes.to_value()));
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FleetSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let f = as_object(v, "FleetSpec")?;
+        const TY: &str = "FleetSpec";
+        Ok(FleetSpec {
+            environment: Deserialize::from_value(req(f, "environment", TY)?)?,
+            bounds: Deserialize::from_value(req(f, "bounds", TY)?)?,
+            aps: Deserialize::from_value(req(f, "aps", TY)?)?,
+            clients: Deserialize::from_value(req(f, "clients", TY)?)?,
+            duration: Deserialize::from_value(req(f, "duration", TY)?)?,
+            seed: Deserialize::from_value(req(f, "seed", TY)?)?,
+            protocol: Deserialize::from_value(req(f, "protocol", TY)?)?,
+            hints: Deserialize::from_value(req(f, "hints", TY)?)?,
+            handoff: Deserialize::from_value(req(f, "handoff", TY)?)?,
+            medium: opt(f, "medium", MediumSpec::default)?,
+            payload_bytes: Deserialize::from_value(req(f, "payload_bytes", TY)?)?,
+        })
     }
 }
 
@@ -306,6 +582,9 @@ impl FleetSpec {
                 self.handoff.reassociation_cost, self.handoff.scan_interval
             ));
         }
+        if let Err(msg) = self.medium.validate() {
+            return bad(msg);
+        }
         if !registry.contains(&self.protocol.name) {
             let e = registry.unknown(&self.protocol.name);
             return Err(ScenarioError::UnknownProtocol {
@@ -319,6 +598,11 @@ impl FleetSpec {
     /// The handoff policy this spec selects (call after validation).
     pub fn policy(&self) -> Option<HandoffPolicy> {
         HandoffPolicy::from_name(&self.handoff.policy)
+    }
+
+    /// The contention mode this spec selects (call after validation).
+    pub fn contention(&self) -> Option<ContentionMode> {
+        self.medium.mode()
     }
 
     /// Serialize to compact JSON.
@@ -453,6 +737,13 @@ impl FleetBuilder {
         self
     }
 
+    /// Select the shared-medium model (see [`MediumSpec`]); the default
+    /// is [`MediumSpec::isolated`].
+    pub fn medium(mut self, medium: MediumSpec) -> Self {
+        self.spec.medium = medium;
+        self
+    }
+
     /// Override the link payload size.
     pub fn payload_bytes(mut self, bytes: u32) -> Self {
         self.spec.payload_bytes = bytes;
@@ -504,7 +795,12 @@ pub struct FleetClientOutcome {
 }
 
 /// One AP's aggregate view of the run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// The contention fields (`contended_busy_s` onward) are produced only
+/// by shared-medium runs; they serialize only when non-zero, so isolated
+/// outcomes — including every pre-contention golden file — stay
+/// byte-identical.
+#[derive(Clone, Debug, PartialEq)]
 pub struct FleetApStats {
     /// Total client-association time, seconds (sums across clients, so
     /// it can exceed the run duration).
@@ -515,10 +811,59 @@ pub struct FleetApStats {
     /// the Fig. 5-1 pathology at fleet scale. Near zero when departing
     /// clients hint and the AP quarantines them (Sec. 5.2.3).
     pub wasted_airtime_s: f64,
+    /// Airtime the arbiter granted to frames on this AP's medium,
+    /// seconds (shared contention only).
+    pub contended_busy_s: f64,
+    /// Airtime destroyed by collisions on this AP's medium, seconds
+    /// (shared contention only).
+    pub collision_s: f64,
+    /// Collision events on this AP's medium (shared contention only).
+    pub collisions: u32,
+}
+
+impl Serialize for FleetApStats {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("association_s".to_string(), self.association_s.to_value()),
+            ("handoffs_in".to_string(), self.handoffs_in.to_value()),
+            (
+                "wasted_airtime_s".to_string(),
+                self.wasted_airtime_s.to_value(),
+            ),
+        ];
+        if self.contended_busy_s != 0.0 {
+            fields.push((
+                "contended_busy_s".to_string(),
+                self.contended_busy_s.to_value(),
+            ));
+        }
+        if self.collision_s != 0.0 {
+            fields.push(("collision_s".to_string(), self.collision_s.to_value()));
+        }
+        if self.collisions != 0 {
+            fields.push(("collisions".to_string(), self.collisions.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FleetApStats {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let f = as_object(v, "FleetApStats")?;
+        const TY: &str = "FleetApStats";
+        Ok(FleetApStats {
+            association_s: Deserialize::from_value(req(f, "association_s", TY)?)?,
+            handoffs_in: Deserialize::from_value(req(f, "handoffs_in", TY)?)?,
+            wasted_airtime_s: Deserialize::from_value(req(f, "wasted_airtime_s", TY)?)?,
+            contended_busy_s: opt(f, "contended_busy_s", || 0.0)?,
+            collision_s: opt(f, "collision_s", || 0.0)?,
+            collisions: opt(f, "collisions", || 0)?,
+        })
+    }
 }
 
 /// The complete result of one fleet run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FleetOutcome {
     /// Environment name the links were generated in.
     pub environment: String,
@@ -526,6 +871,10 @@ pub struct FleetOutcome {
     pub protocol: String,
     /// Canonical handoff-policy name.
     pub policy: String,
+    /// Canonical contention-mode name. Serialized only for shared-medium
+    /// runs, so isolated outcomes (every pre-contention golden file)
+    /// stay byte-identical; absent means `isolated`.
+    pub contention: String,
     /// The fleet seed (provenance).
     pub seed: u64,
     /// Per-client outcomes, in spec order.
@@ -541,6 +890,57 @@ pub struct FleetOutcome {
     pub jain_fairness: f64,
     /// Sum of per-client goodput, Mbit/s.
     pub aggregate_goodput_mbps: f64,
+}
+
+impl Serialize for FleetOutcome {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("environment".to_string(), self.environment.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+        ];
+        if self.contention != ContentionMode::Isolated.name() {
+            fields.push(("contention".to_string(), self.contention.to_value()));
+        }
+        fields.extend([
+            ("seed".to_string(), self.seed.to_value()),
+            ("clients".to_string(), self.clients.to_value()),
+            ("aps".to_string(), self.aps.to_value()),
+            ("total_handoffs".to_string(), self.total_handoffs.to_value()),
+            (
+                "forced_handoffs".to_string(),
+                self.forced_handoffs.to_value(),
+            ),
+            ("jain_fairness".to_string(), self.jain_fairness.to_value()),
+            (
+                "aggregate_goodput_mbps".to_string(),
+                self.aggregate_goodput_mbps.to_value(),
+            ),
+        ]);
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FleetOutcome {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let f = as_object(v, "FleetOutcome")?;
+        const TY: &str = "FleetOutcome";
+        Ok(FleetOutcome {
+            environment: Deserialize::from_value(req(f, "environment", TY)?)?,
+            protocol: Deserialize::from_value(req(f, "protocol", TY)?)?,
+            policy: Deserialize::from_value(req(f, "policy", TY)?)?,
+            contention: opt(f, "contention", || {
+                ContentionMode::Isolated.name().to_string()
+            })?,
+            seed: Deserialize::from_value(req(f, "seed", TY)?)?,
+            clients: Deserialize::from_value(req(f, "clients", TY)?)?,
+            aps: Deserialize::from_value(req(f, "aps", TY)?)?,
+            total_handoffs: Deserialize::from_value(req(f, "total_handoffs", TY)?)?,
+            forced_handoffs: Deserialize::from_value(req(f, "forced_handoffs", TY)?)?,
+            jain_fairness: Deserialize::from_value(req(f, "jain_fairness", TY)?)?,
+            aggregate_goodput_mbps: Deserialize::from_value(req(f, "aggregate_goodput_mbps", TY)?)?,
+        })
+    }
 }
 
 impl FleetOutcome {
@@ -565,19 +965,38 @@ impl FleetOutcome {
 
 /// Jain's fairness index over a set of non-negative allocations:
 /// `(Σx)² / (n · Σx²)`, which is 1 for an even split and `1/n` when one
-/// participant takes everything. Defined as 1.0 for an empty or all-zero
-/// set (nobody is being treated unfairly when there is nothing to
-/// share).
+/// participant takes everything. **Total** over every input: defined as
+/// 1.0 for an empty or all-zero set (nobody is being treated unfairly
+/// when there is nothing to share — the degenerate fleet whose clients
+/// never associate), and non-finite or negative allocations are treated
+/// as zero, so the index is always finite and in `(0, 1]`.
 pub fn jain_index(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 1.0;
     }
-    let sum: f64 = values.iter().sum();
-    let sq: f64 = values.iter().map(|v| v * v).sum();
+    let n = values.len() as f64;
+    // Non-finite and negative allocations count as zero; for ordinary
+    // inputs this is the identity, so existing pinned outcomes keep
+    // their exact bits.
+    let clamped: Vec<f64> = values
+        .iter()
+        .map(|v| if v.is_finite() && *v > 0.0 { *v } else { 0.0 })
+        .collect();
+    let sum: f64 = clamped.iter().sum();
+    let sq: f64 = clamped.iter().map(|v| v * v).sum();
     if sq <= 0.0 {
         return 1.0;
     }
-    sum * sum / (values.len() as f64 * sq)
+    let j = sum * sum / (n * sq);
+    if j.is_finite() {
+        return j;
+    }
+    // Squaring overflowed (values near f64::MAX): renormalize by the
+    // largest allocation — Jain's index is scale-invariant.
+    let max = clamped.iter().cloned().fold(0.0, f64::max);
+    let sum: f64 = clamped.iter().map(|v| v / max).sum();
+    let sq: f64 = clamped.iter().map(|v| (v / max) * (v / max)).sum();
+    sum * sum / (n * sq)
 }
 
 #[cfg(test)]
@@ -747,5 +1166,110 @@ mod tests {
         assert!((one_hog - 1.0 / 3.0).abs() < 1e-12, "{one_hog}");
         let mild = jain_index(&[2.0, 1.0]);
         assert!(mild > 1.0 / 2.0 && mild < 1.0);
+    }
+
+    #[test]
+    fn jain_index_is_total_over_degenerate_inputs() {
+        // A fleet whose clients never associate reports zero goodputs;
+        // NaN/inf must never leak into or out of the index.
+        assert_eq!(jain_index(&[f64::NAN, f64::NAN]), 1.0);
+        assert_eq!(jain_index(&[f64::INFINITY]), 1.0);
+        assert_eq!(jain_index(&[-3.0, -1.0]), 1.0);
+        let mixed = jain_index(&[4.0, f64::NAN, -2.0]);
+        assert!(mixed.is_finite(), "{mixed}");
+        // One real allocation among three participants: same as one hog.
+        assert!((mixed - 1.0 / 3.0).abs() < 1e-12, "{mixed}");
+        for vals in [
+            &[f64::NAN, 1.0, 2.0][..],
+            &[0.0][..],
+            &[f64::NEG_INFINITY, f64::MAX][..],
+        ] {
+            let j = jain_index(vals);
+            assert!(j.is_finite() && j > 0.0 && j <= 1.0, "{vals:?} -> {j}");
+        }
+    }
+
+    #[test]
+    fn medium_defaults_to_isolated_and_round_trips() {
+        let spec = walking_fleet().validate().expect("valid fleet");
+        assert_eq!(spec.contention(), Some(ContentionMode::Isolated));
+        // The default medium is skipped in JSON, so pre-contention spec
+        // files and freshly saved defaults look identical…
+        let json = spec.to_json_pretty();
+        assert!(!json.contains("medium"), "default medium must be skipped");
+        // …and JSON without the field parses back to the default.
+        let reparsed = FleetSpec::from_json(&json).expect("round-trips");
+        assert_eq!(reparsed.medium, MediumSpec::default());
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn shared_medium_round_trips_with_partial_fields() {
+        let spec = walking_fleet()
+            .medium(MediumSpec::shared())
+            .validate()
+            .expect("valid shared fleet");
+        assert_eq!(spec.contention(), Some(ContentionMode::Shared));
+        let json = spec.to_json();
+        assert!(json.contains("\"contention\":\"shared\""), "{json}");
+        assert_eq!(FleetSpec::from_json(&json).expect("parses"), spec);
+        // A spec file can name just the mode; DCF fields fill in.
+        let full_medium = serde_json::to_string(&spec.medium).expect("serializes");
+        assert!(json.contains(&full_medium), "{json}");
+        let sparse_json = json.replace(&full_medium, "{\"contention\":\"shared\"}");
+        let sparse = FleetSpec::from_json(&sparse_json).expect("sparse medium parses");
+        assert_eq!(sparse.medium, MediumSpec::shared());
+    }
+
+    #[test]
+    fn malformed_medium_is_actionable() {
+        let zero_slot = walking_fleet().medium(MediumSpec {
+            slot: SimDuration::ZERO,
+            ..MediumSpec::shared()
+        });
+        let msg = zero_slot.validate().unwrap_err().to_string();
+        assert!(msg.contains("slot time must be positive"), "{msg}");
+
+        let inverted_cw = walking_fleet().medium(MediumSpec {
+            cw_min: 127,
+            cw_max: 15,
+            ..MediumSpec::shared()
+        });
+        let msg = inverted_cw.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("backoff window min 127 exceeds max 15"),
+            "{msg}"
+        );
+
+        let unknown = walking_fleet().medium(MediumSpec {
+            contention: "psychic".into(),
+            ..MediumSpec::shared()
+        });
+        let msg = unknown.validate().unwrap_err().to_string();
+        assert!(msg.contains("psychic"), "{msg}");
+        for name in CONTENTION_MODE_NAMES {
+            assert!(msg.contains(name), "{msg} must list {name}");
+        }
+
+        let huge_cw = walking_fleet().medium(MediumSpec {
+            cw_max: u32::MAX,
+            ..MediumSpec::shared()
+        });
+        let msg = huge_cw.validate().unwrap_err().to_string();
+        assert!(msg.contains("exceeds the supported limit"), "{msg}");
+
+        let zero_epoch = walking_fleet().medium(MediumSpec {
+            epoch: SimDuration::ZERO,
+            ..MediumSpec::shared()
+        });
+        let msg = zero_epoch.validate().unwrap_err().to_string();
+        assert!(msg.contains("epoch must be positive"), "{msg}");
+
+        let zero_difs = walking_fleet().medium(MediumSpec {
+            difs: SimDuration::ZERO,
+            ..MediumSpec::shared()
+        });
+        let msg = zero_difs.validate().unwrap_err().to_string();
+        assert!(msg.contains("DIFS must be positive"), "{msg}");
     }
 }

@@ -28,6 +28,12 @@ use std::cell::RefCell;
 /// Standard deviation of per-packet SNR measurement noise, dB.
 pub const SNR_MEASUREMENT_NOISE_DB: f64 = 2.0;
 
+/// Smallest airtime share a contended sender can be throttled to: a
+/// share below this dilates each exchange by more than 64x, at which
+/// point the epoch carries no meaningful traffic anyway and further
+/// dilation only risks degenerate arithmetic.
+pub const MIN_AIRTIME_SHARE: f64 = 1.0 / 64.0;
+
 /// Result of one simulated run.
 ///
 /// Serializable so scenario outcomes are storable artifacts (see
@@ -89,6 +95,11 @@ pub struct LinkSimulator<'a> {
     /// noise events are shorter than a 5 ms slot, so they are drawn here,
     /// per packet, rather than baked into slot fates.
     noise_rng: RefCell<RngStream>,
+    /// Per-second airtime shares from a shared-medium arbiter (see
+    /// [`LinkSimulator::with_airtime_shares`]); `None` — the default —
+    /// is the uncontended sender, byte-identical to the pre-contention
+    /// simulator.
+    airtime_shares: Option<Vec<f64>>,
 }
 
 impl<'a> LinkSimulator<'a> {
@@ -116,6 +127,7 @@ impl<'a> LinkSimulator<'a> {
             payload_bytes: 1000,
             hints: None,
             noise_rng,
+            airtime_shares: None,
         }
     }
 
@@ -137,6 +149,33 @@ impl<'a> LinkSimulator<'a> {
     /// no borrow ties the simulator to the stream's storage).
     pub fn with_owned_hints(mut self, hints: HintStream) -> Self {
         self.hints = Some(Cow::Owned(hints));
+        self
+    }
+
+    /// Throttle the sender to a per-second airtime share of the medium,
+    /// as granted by a shared-medium arbiter
+    /// (`hint_mac::contention::AirtimeArbiter`): during trace second `s`
+    /// every exchange occupies `airtime / shares[s]` of wall-clock time —
+    /// the sender waits out other stations' transmissions, DIFS, backoff
+    /// and collisions between its own frames. Seconds past the end of
+    /// `shares` are uncontended (share 1). Shares clamp to
+    /// [`MIN_AIRTIME_SHARE`] so a starved second stays finite.
+    ///
+    /// Without this call the simulator is the paper's back-to-back
+    /// uncontended sender, byte-identical to the pre-contention engine.
+    pub fn with_airtime_shares(mut self, shares: Vec<f64>) -> Self {
+        self.airtime_shares = Some(
+            shares
+                .into_iter()
+                .map(|s| {
+                    if s.is_finite() {
+                        s.clamp(MIN_AIRTIME_SHARE, 1.0)
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
+        );
         self
     }
 
@@ -218,7 +257,16 @@ impl<'a> LinkSimulator<'a> {
         usage[rate.index()] += 1;
         let noise_hit = self.noise_rng.borrow_mut().chance(self.trace.noise_loss);
         let ok = self.trace.fate(now, rate) && !noise_hit;
-        let done = now + self.exchange_airtimes[rate.index()];
+        let airtime = self.exchange_airtimes[rate.index()];
+        let done = match &self.airtime_shares {
+            // Uncontended: exact pre-contention arithmetic.
+            None => now + airtime,
+            Some(shares) => {
+                let sec = (now.as_micros() / 1_000_000) as usize;
+                let share = shares.get(sec).copied().unwrap_or(1.0);
+                now + SimDuration::from_micros((airtime.as_micros() as f64 / share).round() as u64)
+            }
+        };
         adapter.report(done, rate, ok);
         (ok, done, rate)
     }
@@ -433,6 +481,58 @@ mod tests {
                 .goodput_bps
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn full_airtime_share_is_bit_identical_to_uncontended() {
+        let t = trace(true, 10, 7);
+        let run = |shares: Option<Vec<f64>>| {
+            let mut a = RapidSample::new();
+            let mut sim = LinkSimulator::new(&t);
+            if let Some(s) = shares {
+                sim = sim.with_airtime_shares(s);
+            }
+            sim.run(&mut a, Workload::Udp)
+        };
+        let base = run(None);
+        let full = run(Some(vec![1.0; 10]));
+        assert_eq!(base, full, "share 1.0 must not perturb the simulation");
+    }
+
+    #[test]
+    fn halved_airtime_share_roughly_halves_goodput() {
+        let t = trace(false, 10, 8);
+        let run = |share: f64| {
+            let mut a = RapidSample::new();
+            LinkSimulator::new(&t)
+                .with_airtime_shares(vec![share; 10])
+                .run(&mut a, Workload::Udp)
+                .goodput_bps
+        };
+        let full = run(1.0);
+        let half = run(0.5);
+        let ratio = half / full;
+        assert!(
+            (0.4..0.6).contains(&ratio),
+            "half share kept {ratio} of goodput"
+        );
+    }
+
+    #[test]
+    fn starved_share_clamps_and_stays_finite() {
+        let t = trace(false, 5, 9);
+        let mut a = RapidSample::new();
+        let res = LinkSimulator::new(&t)
+            .with_airtime_shares(vec![0.0, f64::NAN, -3.0, 1e-9, 0.2])
+            .run(&mut a, Workload::Udp);
+        assert!(res.goodput_bps.is_finite());
+        assert!(res.packets_sent > 0, "clamped shares still move frames");
+        // Seconds past the share vector run uncontended.
+        let mut b = RapidSample::new();
+        let short = LinkSimulator::new(&t)
+            .with_airtime_shares(vec![0.5])
+            .run(&mut b, Workload::Udp);
+        assert!(short.packets_sent > 0);
     }
 
     #[test]

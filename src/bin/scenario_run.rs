@@ -163,6 +163,9 @@ fn run_fleet(path: &str, spec: FleetSpec, json: bool) -> ExitCode {
     println!("environment : {}", outcome.environment);
     println!("protocol    : {}", outcome.protocol);
     println!("policy      : {}", outcome.policy);
+    if outcome.contention != "isolated" {
+        println!("contention  : {} medium", outcome.contention);
+    }
     println!("duration    : {}", spec.duration);
     println!("seed        : {}", spec.seed);
     println!(
@@ -202,8 +205,16 @@ fn run_fleet(path: &str, spec: FleetSpec, json: bool) -> ExitCode {
     println!();
     println!("aps:");
     for (i, ap) in outcome.aps.iter().enumerate() {
+        let contended = if outcome.contention == "isolated" {
+            String::new()
+        } else {
+            format!(
+                "  {:>6.2} s granted  {:>5.2} s in {} collisions",
+                ap.contended_busy_s, ap.collision_s, ap.collisions
+            )
+        };
         println!(
-            "  AP{i}  {:>7.1} client-s associated  {:>2} handoffs in  {:>6.2} s ghost airtime",
+            "  AP{i}  {:>7.1} client-s associated  {:>2} handoffs in  {:>6.2} s ghost airtime{contended}",
             ap.association_s, ap.handoffs_in, ap.wasted_airtime_s
         );
     }

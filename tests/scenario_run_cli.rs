@@ -80,6 +80,80 @@ fn malformed_fleet_specs_exit_two_with_actionable_stderr() {
 }
 
 #[test]
+fn malformed_medium_specs_exit_two_with_actionable_stderr() {
+    use sensor_hints::rateadapt::fleet::MediumSpec;
+    use sensor_hints::sim::SimDuration;
+
+    // Zero slot time: backoff could never elapse.
+    let mut zero_slot = checked_in_fleet();
+    zero_slot.medium = MediumSpec {
+        slot: SimDuration::ZERO,
+        ..MediumSpec::shared()
+    };
+    let path = save_temp("zero_slot.json", &zero_slot);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("slot time must be positive"), "{err}");
+
+    // Inverted backoff window: min above max.
+    let mut inverted_cw = checked_in_fleet();
+    inverted_cw.medium = MediumSpec {
+        cw_min: 255,
+        cw_max: 31,
+        ..MediumSpec::shared()
+    };
+    let path = save_temp("inverted_cw.json", &inverted_cw);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("backoff window min 255 exceeds max 31"),
+        "{err}"
+    );
+
+    // Unknown contention mode: message lists the valid names.
+    let mut bad_mode = checked_in_fleet();
+    bad_mode.medium = MediumSpec {
+        contention: "telepathic".into(),
+        ..MediumSpec::shared()
+    };
+    let path = save_temp("bad_mode.json", &bad_mode);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("telepathic"), "{err}");
+    assert!(err.contains("isolated"), "must list modes: {err}");
+    assert!(err.contains("shared"), "must list modes: {err}");
+
+    // Zero scheduling epoch.
+    let mut zero_epoch = checked_in_fleet();
+    zero_epoch.medium = MediumSpec {
+        epoch: SimDuration::ZERO,
+        ..MediumSpec::shared()
+    };
+    let path = save_temp("zero_epoch.json", &zero_epoch);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("epoch must be positive"), "{err}");
+}
+
+#[test]
+fn contended_spec_runs_cleanly_and_reports_contention() {
+    let out = scenario_run(&["scenarios/fleet_contended_office.json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("contention"), "{stdout}");
+    let out = scenario_run(&["scenarios/fleet_contended_office.json", "--json"]);
+    assert!(out.status.success());
+    let outcome = FleetOutcome::from_json(&String::from_utf8_lossy(&out.stdout))
+        .expect("fleet outcome parses");
+    assert_eq!(outcome.contention, "shared");
+    assert!(outcome.aps[0].contended_busy_s > 0.0);
+}
+
+#[test]
 fn missing_file_is_an_environment_failure() {
     let out = scenario_run(&["/nonexistent/fleet.json"]);
     assert_eq!(out.status.code(), Some(1));
