@@ -4,7 +4,7 @@
 //! one walks out of range ~35 s in. "The AP was unaware of the movement of
 //! the first client, and continued to send packets to it. Of course, none
 //! of the link-layer frames got a link-layer ACK, so the AP re-sent them
-//! ... the absence of ACKs caused the bit rate to the moved client [to]
+//! ... the absence of ACKs caused the bit rate to the moved client \[to\]
 //! drop to the lowest rate ... the AP implements frame-level fairness
 //! between clients ... the result is a significant drop in throughput [for
 //! the *remaining* client]. Finally, after about 10 seconds of getting no

@@ -159,6 +159,17 @@ fn bench_fleet(c: &mut Criterion) {
     c.bench_function("fleet/contended_10s_4c_1ap", |b| {
         b.iter(|| black_box(contended.run()));
     });
+
+    // The metro fleet: 224 clients x 32 APs for 1 s on a shared medium,
+    // single-threaded — the scaling path (spatial AP index, span-task
+    // arena, streaming accumulation) end to end. `bench_gate` pins this
+    // so the sublinear scan never silently regresses to all-APs work.
+    let metro = sensor_hints::fleet::FleetScenario::compile(&hint_bench::metro::metro_fleet())
+        .expect("valid metro fleet");
+
+    c.bench_function("fleet/metro_1s_224c_32ap", |b| {
+        b.iter(|| black_box(metro.run()));
+    });
 }
 
 criterion_group!(

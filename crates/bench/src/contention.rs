@@ -120,7 +120,7 @@ fn configurations(n: usize) -> [(&'static str, FleetSpec); 3] {
     ]
 }
 
-/// One sweep point's outcomes, in [`configurations`] order.
+/// One sweep point's outcomes, in `configurations` order.
 #[derive(Clone, Debug)]
 pub struct SweepPoint {
     /// Clients per AP at this point.

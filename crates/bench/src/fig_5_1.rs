@@ -1,7 +1,7 @@
 //! Fig. 5-1 — throughput over time for two clients when one departs.
 //!
 //! "Initially, both clients roughly share the available bandwidth. One of
-//! the node[s] moves away shortly before 35 seconds into the trace. Soon
+//! the node\[s\] moves away shortly before 35 seconds into the trace. Soon
 //! after, the throughput to the remaining static node drops precipitously
 //! and remains low for about 10 seconds, before recovering to use the
 //! entire bandwidth!" The hint-aware pruning policy avoids the collapse.

@@ -29,6 +29,7 @@ pub mod fig_4_4_4_5;
 pub mod fig_4_6;
 pub mod fig_5_1;
 pub mod fleet;
+pub mod metro;
 pub mod report;
 pub mod route_stability;
 pub mod runner;

@@ -13,7 +13,7 @@
 
 use crate::report::Report;
 use crate::{ablations, contention, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1};
-use crate::{fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, fleet, route_stability, table_5_1};
+use crate::{fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, fleet, metro, route_stability, table_5_1};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
@@ -148,6 +148,11 @@ pub fn full_battery() -> Vec<Job> {
             || contention::report().0,
         ),
         Job::new(
+            "fig_metro",
+            "Metro fleet: 224 clients x 32 APs through the scaled engine",
+            || metro::report().0,
+        ),
+        Job::new(
             "ablation_delta_success",
             "RapidSample delta_success sweep (Sec. 3.1 design choice)",
             || ablations::rapidsample_delta_success_report().0,
@@ -231,6 +236,11 @@ pub fn smoke_battery() -> Vec<Job> {
             "fig_fleet",
             "Multi-client fleet: hint-aware association/handoff (Sec. 5.2)",
             || fleet::report().0,
+        ),
+        Job::new(
+            "fig_metro",
+            "Metro fleet: 224 clients x 32 APs through the scaled engine",
+            || metro::report().0,
         ),
     ]
 }
@@ -410,8 +420,8 @@ mod tests {
 
     #[test]
     fn batteries_have_expected_sizes() {
-        assert_eq!(full_battery().len(), 23);
-        assert_eq!(smoke_battery().len(), 8);
+        assert_eq!(full_battery().len(), 24);
+        assert_eq!(smoke_battery().len(), 9);
     }
 
     #[test]
@@ -437,7 +447,7 @@ mod tests {
             names,
             ["fig_3_1", "fig_3_5", "fig_3_6", "fig_3_7", "fig_3_8"]
         );
-        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 23);
+        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 24);
     }
 
     #[test]
@@ -454,7 +464,7 @@ mod tests {
     #[test]
     fn battery_index_lists_every_name_and_description() {
         let index = battery_index(&full_battery());
-        assert_eq!(index.lines().count(), 23);
+        assert_eq!(index.lines().count(), 24);
         // Aligned two-column format: name, padding, description.
         let width = full_battery().iter().map(|j| j.name().len()).max().unwrap();
         for (line, job) in index.lines().zip(full_battery()) {

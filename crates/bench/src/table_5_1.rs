@@ -4,8 +4,8 @@
 //! vehicles with headings within 10 degrees, the median link duration is
 //! 66 seconds. This value roughly halves with each successive increase of
 //! 10 degrees, falling to a median of 9 seconds by the time the headings
-//! are 30 degrees apart." Paper row: [0,10): 66, [10,20): 32, [20,30): 15,
-//! [30,180]: 9, all links: 16.
+//! are 30 degrees apart." Paper row: \[0,10): 66, \[10,20): 32, \[20,30): 15,
+//! \[30,180\]: 9, all links: 16.
 
 use crate::report::Report;
 use crate::rline;

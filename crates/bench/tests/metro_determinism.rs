@@ -1,0 +1,119 @@
+//! The metro fleet's determinism and scaling contract: the checked-in
+//! `scenarios/fleet_metro.json` is byte-for-byte the builder spec, the
+//! outcome replays byte-identically (twice, against the golden file,
+//! and across `--jobs` worker counts), and the whole 224 x 32 run stays
+//! fast enough for CI.
+
+use hint_bench::metro::{metro_fleet, METRO_APS, METRO_CLIENTS};
+use sensor_hints::fleet::FleetScenario;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench; the spec files live at the
+    // workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn checked_in_metro() -> hint_rateadapt::fleet::FleetSpec {
+    hint_rateadapt::fleet::FleetSpec::load(&repo_path("scenarios/fleet_metro.json"))
+        .expect("spec loads")
+}
+
+/// The checked-in metro spec file IS the builder spec, byte for byte.
+/// Regenerate (deliberately!) with
+/// `cargo test -p hint-bench --test metro_determinism -- --ignored`.
+#[test]
+fn checked_in_metro_spec_is_the_builder_spec() {
+    let file = std::fs::read_to_string(repo_path("scenarios/fleet_metro.json"))
+        .expect("scenarios/fleet_metro.json");
+    let built = metro_fleet().to_json_pretty() + "\n";
+    assert!(
+        file == built,
+        "scenarios/fleet_metro.json ({} bytes) is not the metro_fleet() builder spec \
+         ({} bytes); regenerate with \
+         `cargo test -p hint-bench --test metro_determinism -- --ignored`",
+        file.len(),
+        built.len()
+    );
+    let spec = checked_in_metro();
+    assert_eq!(spec.clients.len(), METRO_CLIENTS);
+    assert_eq!(spec.aps.len(), METRO_APS);
+}
+
+/// Same compiled metro fleet, run twice — and recompiled — must be
+/// byte-identical.
+#[test]
+fn metro_runs_twice_byte_identical() {
+    let fleet = FleetScenario::compile(&checked_in_metro()).expect("valid");
+    let a = fleet.run().to_json_pretty();
+    let b = fleet.run().to_json_pretty();
+    assert!(a == b, "two runs of one compiled metro fleet diverged");
+    let again = FleetScenario::compile(&checked_in_metro())
+        .expect("valid")
+        .run()
+        .to_json_pretty();
+    assert!(a == again, "recompiling the spec changed the outcome");
+}
+
+/// The sharding contract at metro scale: every worker count replays the
+/// serial outcome byte-for-byte.
+#[test]
+fn metro_output_byte_identical_across_jobs() {
+    let fleet = FleetScenario::compile(&checked_in_metro()).expect("valid");
+    let serial = fleet.run_with_jobs(1).to_json_pretty();
+    for jobs in [2, 4] {
+        let sharded = fleet.run_with_jobs(jobs).to_json_pretty();
+        assert!(
+            serial == sharded,
+            "metro outcome diverged between --jobs 1 ({} bytes) and --jobs {jobs} ({} bytes)",
+            serial.len(),
+            sharded.len()
+        );
+    }
+}
+
+/// The golden outcome: the checked-in metro spec must replay to the
+/// pinned JSON byte-for-byte. Regenerate (deliberately!) with
+/// `cargo test -p hint-bench --test metro_determinism -- --ignored`.
+#[test]
+fn checked_in_metro_matches_golden_outcome() {
+    let golden = std::fs::read_to_string(repo_path(
+        "crates/bench/tests/golden/fleet_metro_outcome.json",
+    ))
+    .expect("golden outcome file");
+    let out = FleetScenario::compile(&checked_in_metro())
+        .expect("valid")
+        .run();
+    let fresh = out.to_json_pretty() + "\n";
+    assert!(
+        fresh == golden,
+        "metro outcome diverged from the golden file ({} vs {} bytes); if the change \
+         is intentional, regenerate with \
+         `cargo test -p hint-bench --test metro_determinism -- --ignored`",
+        fresh.len(),
+        golden.len()
+    );
+}
+
+/// Regenerate the checked-in spec and golden outcome from the builder.
+/// Deliberate-changes-only: run with
+/// `cargo test -p hint-bench --test metro_determinism -- --ignored`
+/// and review the diff before committing.
+#[test]
+#[ignore = "regenerates checked-in fixtures; run explicitly after intentional changes"]
+fn regenerate_metro_fixtures() {
+    let spec = metro_fleet();
+    std::fs::write(
+        repo_path("scenarios/fleet_metro.json"),
+        spec.to_json_pretty() + "\n",
+    )
+    .expect("write spec");
+    let out = FleetScenario::compile(&spec).expect("valid").run();
+    std::fs::write(
+        repo_path("crates/bench/tests/golden/fleet_metro_outcome.json"),
+        out.to_json_pretty() + "\n",
+    )
+    .expect("write golden");
+}

@@ -37,6 +37,13 @@ fn filtered_battery_is_deterministic_and_ordered() {
     assert_eq!(serial, parallel);
     assert_eq!(
         serial,
-        ["fig_2_2", "fig_3_5", "fig_4_2_4_3", "fig_5_1", "fig_fleet"]
+        [
+            "fig_2_2",
+            "fig_3_5",
+            "fig_4_2_4_3",
+            "fig_5_1",
+            "fig_fleet",
+            "fig_metro"
+        ]
     );
 }

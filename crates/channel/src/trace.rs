@@ -1,6 +1,6 @@
 //! The paper's trace format and its synthetic generator.
 //!
-//! Sec. 3.3: the modified ns-3 "read[s] in experimental traces describing,
+//! Sec. 3.3: the modified ns-3 "read\[s\] in experimental traces describing,
 //! for each 5 ms timeslot, the fate of each packet sent at each bit rate
 //! during that time slot. This setup bypasses the physical layer's
 //! propagation model, instead referencing the trace file to determine if a

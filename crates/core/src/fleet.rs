@@ -32,6 +32,27 @@
 //! **deterministic**: same spec + seed ⇒ byte-identical
 //! [`FleetOutcome`], regardless of worker-thread count in the
 //! surrounding battery.
+//!
+//! # Scaling to metro fleets
+//!
+//! The engine is built so that 1,000+ clients × 100+ APs stays in the
+//! seconds range:
+//!
+//! * **Spatial AP index** — scans query a
+//!   [`hint_topology::spatial::DiskIndex`] over the AP placements, so
+//!   each scan considers only the APs whose coverage disks can contain
+//!   the client instead of all M (exact-equivalent to the brute-force
+//!   scan, property-tested in `hint-topology`).
+//! * **Span arena + sharding** — Phase B flattens every association
+//!   span into one task arena and [`FleetScenario::run_with_jobs`]
+//!   shards it across a scoped worker pool. Each span's simulation is a
+//!   pure function of the spec seed, and the per-client merge is a sum
+//!   of integer counters (goodput is computed from the totals
+//!   afterwards), so results can be folded in completion order: the
+//!   outcome is **byte-identical for every worker count**.
+//! * **Streaming accumulation** — span results merge into per-client
+//!   running sums the moment they land; memory stays
+//!   O(clients + APs + spans), never O(spans × trace length).
 
 use crate::neighbors::NeighborHints;
 use hint_ap::association::{predicted_dwell_s, should_handoff, ApCandidate, ClientMotion};
@@ -51,8 +72,11 @@ use hint_rateadapt::{HintStream, LinkSimulator, SimResult};
 use hint_sensors::gps::Position;
 use hint_sensors::motion::{MotionProfile, MotionSegment};
 use hint_sim::{EventQueue, RngStream, SimDuration, SimTime};
+use hint_topology::spatial::{Disk, DiskIndex};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Assumed receiver noise floor, dBm: scan-time RSSI is the link's mean
 /// SNR re-referenced to it.
@@ -195,6 +219,9 @@ pub struct FleetScenario {
     hints: Vec<Option<HintStream>>,
     /// Per-client root seeds, derived from the fleet seed.
     client_seeds: Vec<u64>,
+    /// Spatial index over the AP coverage disks: scans query it instead
+    /// of testing every AP (exact-equivalent, so outcomes are unchanged).
+    index: DiskIndex,
 }
 
 /// One scheduled engine event (the queue also pins the FIFO order of
@@ -221,6 +248,38 @@ struct ClientRun {
     /// as a forced handoff.
     pending_forced: bool,
     outage: SimDuration,
+}
+
+/// One association span's traffic simulation, as an arena entry Phase B
+/// can hand to any worker: everything a simulation needs is derived
+/// from these fields plus the (shared, read-only) compiled fleet.
+#[derive(Clone, Copy, Debug)]
+struct SpanTask {
+    client: usize,
+    /// Span ordinal within the client — derives the span seed.
+    span_idx: usize,
+    from: SimTime,
+    to: SimTime,
+    ap: usize,
+}
+
+/// Fold one span's simulation result into its client's running sums.
+/// Every operation is a commutative integer addition (goodput is
+/// computed from the totals after all spans land), so the fold order —
+/// and hence the worker count — cannot affect the outcome.
+fn merge_span(merged: &mut SimResult, from: SimTime, result: &SimResult) {
+    merged.packets_sent += result.packets_sent;
+    merged.packets_delivered += result.packets_delivered;
+    merged.attempts += result.attempts;
+    for (u, &n) in merged.rate_usage.iter_mut().zip(result.rate_usage.iter()) {
+        *u += n;
+    }
+    let offset_s = (from.as_micros() / 1_000_000) as usize;
+    for (s, &n) in result.delivered_per_second.iter().enumerate() {
+        if let Some(slot) = merged.delivered_per_second.get_mut(offset_s + s) {
+            *slot += n;
+        }
+    }
 }
 
 impl FleetScenario {
@@ -292,6 +351,16 @@ impl FleetScenario {
             hints.push(stream);
             client_seeds.push(seed);
         }
+        let index = DiskIndex::build(
+            spec.aps
+                .iter()
+                .map(|ap| Disk {
+                    x: ap.x_m,
+                    y: ap.y_m,
+                    r: ap.coverage_m,
+                })
+                .collect(),
+        );
         Ok(FleetScenario {
             spec: spec.clone(),
             env,
@@ -304,6 +373,7 @@ impl FleetScenario {
             paths,
             hints,
             client_seeds,
+            index,
         })
     }
 
@@ -323,26 +393,28 @@ impl FleetScenario {
     }
 
     /// Scan-time candidate list: every AP whose coverage disk contains
-    /// `pos`, with model RSSI.
-    fn candidates(&self, pos: Position) -> Vec<ApCandidate> {
-        self.spec
-            .aps
-            .iter()
-            .enumerate()
-            .filter_map(|(id, ap)| {
-                let ap_pos = Position {
-                    x: ap.x_m,
-                    y: ap.y_m,
-                };
-                let dist = pos.distance(ap_pos);
-                (dist <= ap.coverage_m).then(|| ApCandidate {
-                    id,
-                    position: ap_pos,
-                    rssi_dbm: NOISE_FLOOR_DBM + link_snr_db(&self.env, dist, ap.coverage_m),
-                    coverage_m: ap.coverage_m,
-                })
+    /// `pos`, with model RSSI, ascending by AP id. The spatial index
+    /// narrows the scan to the APs near `pos`; the final containment
+    /// test re-runs the engine's own distance predicate, so the set is
+    /// byte-identical to a brute-force scan over all APs. Both buffers
+    /// are caller-owned scratch, reused across every scan of the run.
+    fn candidates_into(&self, pos: Position, ids: &mut Vec<usize>, out: &mut Vec<ApCandidate>) {
+        self.index.covering_into(pos.x, pos.y, ids);
+        out.clear();
+        out.extend(ids.iter().filter_map(|&id| {
+            let ap = &self.spec.aps[id];
+            let ap_pos = Position {
+                x: ap.x_m,
+                y: ap.y_m,
+            };
+            let dist = pos.distance(ap_pos);
+            (dist <= ap.coverage_m).then(|| ApCandidate {
+                id,
+                position: ap_pos,
+                rssi_dbm: NOISE_FLOOR_DBM + link_snr_db(&self.env, dist, ap.coverage_m),
+                coverage_m: ap.coverage_m,
             })
-            .collect()
+        }));
     }
 
     /// Score one candidate under the fleet's handoff policy. Signal
@@ -377,6 +449,24 @@ impl FleetScenario {
     /// Run the fleet. Each call replays the identical experiment: every
     /// stream is re-derived from the spec seed.
     pub fn run(&self) -> FleetOutcome {
+        self.run_with_jobs(1)
+    }
+
+    /// Run the fleet with `jobs` worker threads sharding the span
+    /// traffic simulations (Phase B). The association event loop and the
+    /// medium arbitration stay serial — they are a tiny fraction of the
+    /// runtime — while every association span's [`LinkSimulator`] run is
+    /// a pure function of the spec seed and so shards freely. Span
+    /// results stream into per-client running sums whose merge is
+    /// commutative integer addition, which makes the outcome
+    /// **byte-identical for every `jobs` value**; `jobs == 1` (what
+    /// [`FleetScenario::run`] uses) takes a pool-free serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `jobs == 0`.
+    pub fn run_with_jobs(&self, jobs: usize) -> FleetOutcome {
+        assert!(jobs >= 1, "jobs must be >= 1");
         let n_clients = self.spec.clients.len();
         let n_aps = self.spec.aps.len();
         let duration = self.spec.duration;
@@ -416,6 +506,9 @@ impl FleetScenario {
         for c in 0..n_clients {
             queue.schedule(SimTime::ZERO, FleetEvent::Scan(c));
         }
+        // Scan scratch, reused across every event (no per-scan allocs).
+        let mut cand_ids: Vec<usize> = Vec::new();
+        let mut candidates: Vec<ApCandidate> = Vec::new();
         while let Some(ev) = queue.pop() {
             let FleetEvent::Scan(c) = ev.event;
             let now = ev.at;
@@ -431,7 +524,7 @@ impl FleetScenario {
                 heading_deg: profile.heading_at(now),
                 speed_mps: if moving { profile.speed_at(now) } else { 0.0 },
             };
-            let candidates = self.candidates(pos);
+            self.candidates_into(pos, &mut cand_ids, &mut candidates);
 
             // The client tells its AP about its movement on every scan
             // frame (legacy fleets send no hint field, only presence).
@@ -627,22 +720,13 @@ impl FleetScenario {
         }
 
         // ------------------------------------------------------------------
-        // Phase B: per-span link traffic.
+        // Phase B: per-span link traffic. The spans flatten into one task
+        // arena; each task is a pure function of the spec seed, so the
+        // arena shards across workers and the results stream into
+        // per-client running sums in whatever order they complete.
         // ------------------------------------------------------------------
-        let mut client_outcomes = Vec::with_capacity(n_clients);
+        let mut tasks: Vec<SpanTask> = Vec::new();
         for (c, run) in runs.iter().enumerate() {
-            let mut merged = SimResult {
-                packets_sent: 0,
-                packets_delivered: 0,
-                attempts: 0,
-                goodput_bps: 0.0,
-                duration,
-                rate_usage: [0; BitRate::COUNT],
-                delivered_per_second: vec![0; duration.as_secs_f64().ceil() as usize],
-            };
-            // The per-client stream compile() derived: re-rooting on the
-            // stored seed is bit-identical (derivation is seed-pure).
-            let client_stream = RngStream::new(self.client_seeds[c]);
             for (k, &(from, to, ap_id)) in run.spans.iter().enumerate() {
                 let span = to.saturating_since(from);
                 // Associated time counts in the AP stats whatever the
@@ -652,59 +736,70 @@ impl FleetScenario {
                 if span < hint_channel::SLOT_DURATION * 2 {
                     continue;
                 }
-                let ap = &self.spec.aps[ap_id];
-                let ap_pos = Position {
-                    x: ap.x_m,
-                    y: ap.y_m,
-                };
-                // Mean link distance over the span (start/mid/end).
-                let mid = from + span / 2;
-                let dist = (self.paths[c].position_at(from).distance(ap_pos)
-                    + self.paths[c].position_at(mid).distance(ap_pos)
-                    + self.paths[c].position_at(to).distance(ap_pos))
-                    / 3.0;
-                let mut span_env = self.env.clone();
-                span_env.base_snr_db = link_snr_db(&self.env, dist, ap.coverage_m);
-                let span_profile = slice_profile(&self.profiles[c], from, span);
-                let span_seed = client_stream.derive_idx("fleet-span", k as u64).seed();
-                let trace = Trace::generate(&span_env, &span_profile, span, span_seed);
-                let mut sim =
-                    LinkSimulator::from_trace(trace).with_payload(self.spec.payload_bytes);
-                if let Some(stream) = self.span_hints(&span_profile, span, span_seed) {
-                    sim = sim.with_owned_hints(stream);
-                }
-                if self.contention == ContentionMode::Shared {
-                    // Trace second k of the span runs at the share the
-                    // arbiter granted this client for the epoch containing
-                    // that second's start.
-                    let n_secs = span.as_secs_f64().ceil() as usize;
-                    let span_shares: Vec<f64> = (0..n_secs)
-                        .map(|k| {
-                            let t_us = from.as_micros() + k as u64 * 1_000_000;
-                            epoch_shares
-                                .get(&(ap_id, t_us / epoch_us, c))
-                                .copied()
-                                .unwrap_or(1.0)
-                        })
-                        .collect();
-                    sim = sim.with_airtime_shares(span_shares);
-                }
-                let mut adapter = (self.factory)(&self.spec.protocol.params());
-                let result = sim.run(adapter.as_mut(), self.spec.clients[c].workload);
-
-                merged.packets_sent += result.packets_sent;
-                merged.packets_delivered += result.packets_delivered;
-                merged.attempts += result.attempts;
-                for (u, &n) in merged.rate_usage.iter_mut().zip(result.rate_usage.iter()) {
-                    *u += n;
-                }
-                let offset_s = (from.as_micros() / 1_000_000) as usize;
-                for (s, &n) in result.delivered_per_second.iter().enumerate() {
-                    if let Some(slot) = merged.delivered_per_second.get_mut(offset_s + s) {
-                        *slot += n;
-                    }
-                }
+                tasks.push(SpanTask {
+                    client: c,
+                    span_idx: k,
+                    from,
+                    to,
+                    ap: ap_id,
+                });
             }
+        }
+
+        // Per-client streaming accumulators: O(clients) memory however
+        // many spans the run produced.
+        let mut merged: Vec<SimResult> = (0..n_clients)
+            .map(|_| SimResult {
+                packets_sent: 0,
+                packets_delivered: 0,
+                attempts: 0,
+                goodput_bps: 0.0,
+                duration,
+                rate_usage: [0; BitRate::COUNT],
+                delivered_per_second: vec![0; duration.as_secs_f64().ceil() as usize],
+            })
+            .collect();
+
+        let workers = jobs.min(tasks.len().max(1));
+        if workers <= 1 {
+            for task in &tasks {
+                let result = self.simulate_span(task, &epoch_shares);
+                merge_span(&mut merged[task.client], task.from, &result);
+            }
+        } else {
+            // The runner-pool idiom: an atomic cursor hands out arena
+            // indices, finished results stream back over a channel, and
+            // the collector folds them as they land. The fold is a sum of
+            // integers into disjoint per-client slots, so arrival order —
+            // and therefore thread count — cannot change a single byte of
+            // the outcome.
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, SimResult)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let (next, tasks, shares) = (&next, &tasks, &epoch_shares);
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let result = self.simulate_span(&tasks[i], shares);
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, result) in rx {
+                    let task = &tasks[i];
+                    merge_span(&mut merged[task.client], task.from, &result);
+                }
+            });
+        }
+
+        let mut client_outcomes = Vec::with_capacity(n_clients);
+        for ((c, run), mut merged) in runs.iter().enumerate().zip(merged) {
             merged.goodput_bps =
                 merged.packets_delivered as f64 * f64::from(self.spec.payload_bytes) * 8.0
                     / duration.as_secs_f64();
@@ -749,6 +844,68 @@ impl FleetScenario {
                 })
                 .collect(),
         }
+    }
+
+    /// Simulate one association span's traffic: a pure function of the
+    /// compiled fleet, the task, and the Phase A' airtime shares — no
+    /// mutable engine state — which is what lets Phase B shard the
+    /// arena across threads.
+    fn simulate_span(
+        &self,
+        task: &SpanTask,
+        epoch_shares: &HashMap<(usize, u64, usize), f64>,
+    ) -> SimResult {
+        let &SpanTask {
+            client: c,
+            span_idx: k,
+            from,
+            to,
+            ap: ap_id,
+        } = task;
+        let span = to.saturating_since(from);
+        let ap = &self.spec.aps[ap_id];
+        let ap_pos = Position {
+            x: ap.x_m,
+            y: ap.y_m,
+        };
+        // Mean link distance over the span (start/mid/end).
+        let mid = from + span / 2;
+        let dist = (self.paths[c].position_at(from).distance(ap_pos)
+            + self.paths[c].position_at(mid).distance(ap_pos)
+            + self.paths[c].position_at(to).distance(ap_pos))
+            / 3.0;
+        let mut span_env = self.env.clone();
+        span_env.base_snr_db = link_snr_db(&self.env, dist, ap.coverage_m);
+        let span_profile = slice_profile(&self.profiles[c], from, span);
+        // The per-client stream compile() derived: re-rooting on the
+        // stored seed is bit-identical (derivation is seed-pure).
+        let span_seed = RngStream::new(self.client_seeds[c])
+            .derive_idx("fleet-span", k as u64)
+            .seed();
+        let trace = Trace::generate(&span_env, &span_profile, span, span_seed);
+        let mut sim = LinkSimulator::from_trace(trace).with_payload(self.spec.payload_bytes);
+        if let Some(stream) = self.span_hints(&span_profile, span, span_seed) {
+            sim = sim.with_owned_hints(stream);
+        }
+        if self.contention == ContentionMode::Shared {
+            // Trace second s of the span runs at the share the arbiter
+            // granted this client for the epoch containing that
+            // second's start.
+            let epoch_us = self.spec.medium.epoch.as_micros();
+            let n_secs = span.as_secs_f64().ceil() as usize;
+            let span_shares: Vec<f64> = (0..n_secs)
+                .map(|s| {
+                    let t_us = from.as_micros() + s as u64 * 1_000_000;
+                    epoch_shares
+                        .get(&(ap_id, t_us / epoch_us, c))
+                        .copied()
+                        .unwrap_or(1.0)
+                })
+                .collect();
+            sim = sim.with_airtime_shares(span_shares);
+        }
+        let mut adapter = (self.factory)(&self.spec.protocol.params());
+        sim.run(adapter.as_mut(), self.spec.clients[c].workload)
     }
 
     /// Activate an association for `run` at `now` (plus the
@@ -899,6 +1056,31 @@ mod tests {
             .expect("valid")
             .run();
         assert_eq!(a, again);
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_serial() {
+        // The `--jobs N` contract: any worker count replays the serial
+        // outcome byte-for-byte, for isolated and contended media alike.
+        let crossing = FleetScenario::compile(&crossing_fleet("hint-aware")).expect("valid");
+        let serial = crossing.run();
+        for jobs in [2, 3, 4, 8] {
+            let sharded = crossing.run_with_jobs(jobs);
+            assert_eq!(serial, sharded, "jobs={jobs}");
+            assert_eq!(
+                serial.to_json_pretty(),
+                sharded.to_json_pretty(),
+                "jobs={jobs}"
+            );
+        }
+        let contended =
+            FleetScenario::compile(&parked_fleet(4, MediumSpec::shared())).expect("valid");
+        let serial = contended.run();
+        for jobs in [2, 4] {
+            assert_eq!(serial, contended.run_with_jobs(jobs), "shared jobs={jobs}");
+        }
+        // More workers than spans degrades gracefully too.
+        assert_eq!(serial, contended.run_with_jobs(64));
     }
 
     #[test]

@@ -84,6 +84,21 @@ pub struct FleetClientSpec {
 }
 
 /// Association/handoff policies, selectable **by name** in specs.
+///
+/// ```
+/// use hint_rateadapt::fleet::{HandoffPolicy, HANDOFF_POLICY_NAMES};
+///
+/// // Names are case-insensitive and `_`/`-` interchangeable.
+/// assert_eq!(
+///     HandoffPolicy::from_name("Hint_Aware"),
+///     Some(HandoffPolicy::HintAware),
+/// );
+/// assert_eq!(HandoffPolicy::from_name("teleport"), None);
+/// // Every canonical name parses back to itself.
+/// for name in HANDOFF_POLICY_NAMES {
+///     assert_eq!(HandoffPolicy::from_name(name).unwrap().name(), name);
+/// }
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HandoffPolicy {
     /// Associate with the strongest signal; hand off when another AP is
@@ -218,6 +233,19 @@ fn default_medium_epoch() -> SimDuration {
 /// and absent specs (every pre-contention spec file) default to
 /// `isolated`, which reproduces the previous engine behaviour
 /// byte-identically.
+///
+/// ```
+/// use hint_rateadapt::fleet::MediumSpec;
+///
+/// // The default medium is isolated (per-link simulation, additive
+/// // throughput); `shared()` turns on 802.11a DCF contention.
+/// assert!(MediumSpec::isolated().is_default());
+/// let shared = MediumSpec::shared();
+/// assert!(!shared.is_default());
+/// assert_eq!(shared.contention, "shared");
+/// assert_eq!(shared.cw_min, 15);
+/// assert!(shared.validate().is_ok());
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct MediumSpec {
     /// Contention mode by name (see [`CONTENTION_MODE_NAMES`]).
@@ -385,6 +413,35 @@ impl MediumSpec {
 /// A complete, serializable description of one multi-client fleet
 /// experiment. Durations serialize as integer microseconds, like every
 /// scenario field (schema: EXPERIMENTS.md, "Fleet spec files").
+///
+/// Build one with [`FleetSpec::builder`]; the spec is the whole
+/// experiment, so an equal spec replays an identical outcome:
+///
+/// ```
+/// use hint_rateadapt::fleet::FleetSpec;
+/// use hint_rateadapt::scenario::MotionSpec;
+/// use hint_rateadapt::Workload;
+/// use hint_sim::SimDuration;
+///
+/// let spec = FleetSpec::builder()
+///     .bounds(200.0, 100.0)
+///     .ap(40.0, 50.0, 70.0)
+///     .ap(160.0, 50.0, 70.0)
+///     .client(
+///         5.0,
+///         50.0,
+///         MotionSpec::Walking { speed_mps: 1.5, heading_deg: 90.0 },
+///         Workload::Udp,
+///     )
+///     .duration(SimDuration::from_secs(30))
+///     .seed(7)
+///     .handoff_policy("hint-aware")
+///     .into_spec();
+/// spec.validate().expect("a well-formed fleet");
+/// // The JSON form round-trips exactly — spec files ARE the experiment.
+/// let reparsed = FleetSpec::from_json(&spec.to_json_pretty()).unwrap();
+/// assert_eq!(reparsed, spec);
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct FleetSpec {
     /// Shared channel environment (per-link SNR statistics; the fleet
@@ -1018,6 +1075,85 @@ mod tests {
                 Workload::Udp,
             )
             .duration(SimDuration::from_secs(20))
+    }
+
+    /// Keys of a serialized object, in the order they will be printed.
+    fn object_keys(v: &Value) -> Vec<String> {
+        match v {
+            Value::Object(fields) => fields.iter().map(|(k, _)| k.clone()).collect(),
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_json_key_order_is_pinned() {
+        // The hand-rolled `to_value` emits keys in insertion order, and
+        // golden files + CI `cmp` gates depend on the byte sequence:
+        // pin it so a refactor can't silently reorder the output.
+        let isolated = FleetApStats {
+            association_s: 1.5,
+            handoffs_in: 2,
+            wasted_airtime_s: 0.25,
+            contended_busy_s: 0.0,
+            collision_s: 0.0,
+            collisions: 0,
+        };
+        assert_eq!(
+            object_keys(&isolated.to_value()),
+            ["association_s", "handoffs_in", "wasted_airtime_s"]
+        );
+        let contended = FleetApStats {
+            contended_busy_s: 3.0,
+            collision_s: 0.5,
+            collisions: 7,
+            ..isolated
+        };
+        assert_eq!(
+            object_keys(&contended.to_value()),
+            [
+                "association_s",
+                "handoffs_in",
+                "wasted_airtime_s",
+                "contended_busy_s",
+                "collision_s",
+                "collisions"
+            ]
+        );
+
+        let mut outcome = FleetOutcome {
+            environment: "office".to_string(),
+            protocol: "HintAware".to_string(),
+            policy: "hint-aware".to_string(),
+            contention: ContentionMode::Isolated.name().to_string(),
+            seed: 7,
+            clients: Vec::new(),
+            aps: vec![contended],
+            total_handoffs: 1,
+            forced_handoffs: 0,
+            jain_fairness: 1.0,
+            aggregate_goodput_mbps: 2.5,
+        };
+        let tail = [
+            "seed",
+            "clients",
+            "aps",
+            "total_handoffs",
+            "forced_handoffs",
+            "jain_fairness",
+            "aggregate_goodput_mbps",
+        ];
+        // Isolated outcomes omit `contention` entirely (pre-contention
+        // schema); shared outcomes splice it after `policy`.
+        let mut want = vec!["environment", "protocol", "policy"];
+        want.extend(tail);
+        assert_eq!(object_keys(&outcome.to_value()), want);
+        outcome.contention = ContentionMode::Shared.name().to_string();
+        let mut want = vec!["environment", "protocol", "policy", "contention"];
+        want.extend(tail);
+        assert_eq!(object_keys(&outcome.to_value()), want);
+        // And the order survives the full print + reparse cycle.
+        let back = FleetOutcome::from_json(&outcome.to_json_pretty()).expect("parses");
+        assert_eq!(back, outcome);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Delivery-probability estimation and estimate-vs-actual error.
 //!
 //! Sec. 4.1: "We calculate the actual delivery probability over a sliding
-//! window [of] 10 packets from these rapidly sent probes, sub-sampling the
+//! window \[of\] 10 packets from these rapidly sent probes, sub-sampling the
 //! outcome of these probes to determine the delivery probability at
 //! different probing rates. ... we calculate the error in the delivery
 //! probability estimate as a function of the probing rate":

@@ -18,6 +18,10 @@
 //!   on a hop).
 //! * [`mesh`] — a multi-relay mesh tying probing accuracy to realised ETX
 //!   routing penalties, end to end.
+//! * [`spatial`] — a uniform-grid index over coverage disks, so a
+//!   metro-scale fleet scan consults only the APs near the client
+//!   instead of every AP in the deployment (exact-equivalent to the
+//!   brute-force scan, property-tested).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +31,9 @@ pub mod delivery;
 pub mod etx;
 pub mod mesh;
 pub mod probes;
+pub mod spatial;
 
 pub use adaptive::{AdaptiveProber, ProbingMode};
 pub use delivery::{DeliveryEstimator, WINDOW_PROBES};
 pub use probes::{ProbeStream, FULL_PROBE_RATE_HZ};
+pub use spatial::{Disk, DiskIndex};

@@ -1,0 +1,272 @@
+//! Spatial indexing of coverage disks (the metro-scale scan path).
+//!
+//! A fleet scan asks "which APs cover this client right now?". The naive
+//! answer tests every AP — O(M) per scan, which dominates once fleets
+//! reach hundreds of APs. [`DiskIndex`] is a uniform grid over the disk
+//! placements: each disk is registered in every grid cell its bounding
+//! square overlaps, so a point query inspects exactly one cell's
+//! occupant list instead of the whole deployment. With the cell size
+//! tied to the largest coverage radius, each disk lands in O(1) cells
+//! and a query touches O(occupants) candidates — sublinear in the total
+//! AP count for any deployment whose APs are spread out (the only kind
+//! that needs hundreds of APs).
+//!
+//! The index is **exact**, not approximate: a query applies the same
+//! Euclidean containment predicate a brute-force scan would, so the
+//! returned set is identical to the scan — in ascending id order — for
+//! every placement and query point. `tests/spatial_prop.rs` pins that
+//! equivalence property under random geometry.
+
+use std::collections::HashMap;
+
+/// One coverage disk: centre plus radius, in metres.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Disk {
+    /// Centre, metres east of the origin.
+    pub x: f64,
+    /// Centre, metres north of the origin.
+    pub y: f64,
+    /// Coverage radius, metres (containment is `distance <= r`).
+    pub r: f64,
+}
+
+impl Disk {
+    /// True when `(px, py)` lies inside (or on) this disk — the exact
+    /// predicate a brute-force scan uses: Euclidean distance, computed
+    /// as `sqrt(dx² + dy²)`, compared `<=` against the radius.
+    #[inline]
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        let dx = px - self.x;
+        let dy = py - self.y;
+        (dx * dx + dy * dy).sqrt() <= self.r
+    }
+}
+
+/// A uniform-grid point-in-disk index.
+///
+/// Build once from a fixed set of disks, query many times:
+///
+/// ```
+/// use hint_topology::spatial::{Disk, DiskIndex};
+///
+/// let index = DiskIndex::build(vec![
+///     Disk { x: 40.0, y: 50.0, r: 65.0 },
+///     Disk { x: 160.0, y: 50.0, r: 65.0 },
+/// ]);
+/// // Only the first disk covers the western edge…
+/// assert_eq!(index.covering(5.0, 50.0), vec![0]);
+/// // …both cover the midpoint of the floor.
+/// assert_eq!(index.covering(100.0, 50.0), vec![0, 1]);
+/// // Ids come back in ascending order, exactly as a full scan would
+/// // enumerate them.
+/// assert_eq!(index.covering(500.0, 500.0), Vec::<usize>::new());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DiskIndex {
+    disks: Vec<Disk>,
+    /// Grid cell edge length, metres (the largest disk diameter, so a
+    /// disk overlaps at most 2×2 = 4 cells… in practice 3×3 worst case
+    /// for cell size = max radius; see `build`).
+    cell_m: f64,
+    /// Cell coordinates → ids of disks whose bounding square overlaps
+    /// the cell, ascending (insertion follows id order).
+    cells: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl DiskIndex {
+    /// Build an index over `disks`. Ids are the positions in the input
+    /// vector, mirroring a scan's `enumerate()`.
+    ///
+    /// The cell size is the largest radius (so each disk's bounding
+    /// square overlaps at most 3×3 cells and a point query inspects one
+    /// cell). Degenerate inputs stay total: an empty set builds an empty
+    /// index, and non-positive or non-finite radii index as empty disks
+    /// that no query returns.
+    pub fn build(disks: Vec<Disk>) -> DiskIndex {
+        let max_r = disks
+            .iter()
+            .map(|d| d.r)
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .fold(0.0_f64, f64::max);
+        let cell_m = if max_r > 0.0 { max_r } else { 1.0 };
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (id, d) in disks.iter().enumerate() {
+            if !(d.x.is_finite() && d.y.is_finite() && d.r.is_finite() && d.r > 0.0) {
+                continue;
+            }
+            let (cx0, cy0) = cell_of(d.x - d.r, d.y - d.r, cell_m);
+            let (cx1, cy1) = cell_of(d.x + d.r, d.y + d.r, cell_m);
+            for cx in cx0..=cx1 {
+                for cy in cy0..=cy1 {
+                    cells.entry((cx, cy)).or_default().push(id);
+                }
+            }
+        }
+        DiskIndex {
+            disks,
+            cell_m,
+            cells,
+        }
+    }
+
+    /// Number of indexed disks.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// True when the index holds no disks.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// The indexed disks, in id order.
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// Ids of every disk containing `(px, py)`, ascending — identical to
+    /// the brute-force scan `disks.iter().enumerate().filter(contains)`.
+    pub fn covering(&self, px: f64, py: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.covering_into(px, py, &mut out);
+        out
+    }
+
+    /// Allocation-free [`DiskIndex::covering`]: clears `out` and fills
+    /// it with the covering ids, ascending. The scan loop of a fleet
+    /// engine reuses one buffer across millions of queries.
+    pub fn covering_into(&self, px: f64, py: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if !(px.is_finite() && py.is_finite()) {
+            return;
+        }
+        if let Some(ids) = self.cells.get(&cell_of(px, py, self.cell_m)) {
+            // Each cell's id list ascends (built in id order), so the
+            // filtered output ascends too — no sort needed.
+            out.extend(
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.disks[id].contains(px, py)),
+            );
+        }
+    }
+
+    /// The brute-force reference scan: every disk tested, ascending ids.
+    /// This is the oracle the property suite compares [`covering`]
+    /// against (and what small deployments would do anyway).
+    ///
+    /// [`covering`]: DiskIndex::covering
+    pub fn covering_brute_force(&self, px: f64, py: f64) -> Vec<usize> {
+        self.disks
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.contains(px, py))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// The grid cell containing `(x, y)` for edge length `cell_m`.
+#[inline]
+fn cell_of(x: f64, y: f64, cell_m: f64) -> (i64, i64) {
+    ((x / cell_m).floor() as i64, (y / cell_m).floor() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_32() -> Vec<Disk> {
+        // The metro geometry: 8 × 4 APs on a 100 m pitch.
+        let mut disks = Vec::new();
+        for j in 0..4 {
+            for i in 0..8 {
+                disks.push(Disk {
+                    x: 50.0 + 100.0 * i as f64,
+                    y: 50.0 + 100.0 * j as f64,
+                    r: 75.0,
+                });
+            }
+        }
+        disks
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_metro_grid() {
+        let index = DiskIndex::build(grid_32());
+        for py in [0.0, 37.5, 50.0, 199.0, 350.0, 400.0] {
+            for px in [0.0, 49.9, 50.0, 125.0, 333.3, 750.0, 800.0] {
+                assert_eq!(
+                    index.covering(px, py),
+                    index.covering_brute_force(px, py),
+                    "query ({px}, {py})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_ascend_and_boundary_is_inclusive() {
+        let index = DiskIndex::build(vec![
+            Disk {
+                x: 0.0,
+                y: 0.0,
+                r: 10.0,
+            },
+            Disk {
+                x: 5.0,
+                y: 0.0,
+                r: 10.0,
+            },
+        ]);
+        assert_eq!(index.covering(2.0, 0.0), vec![0, 1]);
+        // Exactly on disk 0's boundary: `distance <= r` includes it.
+        assert_eq!(index.covering(10.0, 0.0), vec![0, 1]);
+        assert_eq!(index.covering(15.0, 0.0), vec![1]);
+        assert_eq!(index.covering(-10.0, 0.0), vec![0]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_disks_are_total() {
+        let empty = DiskIndex::build(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.covering(0.0, 0.0), Vec::<usize>::new());
+
+        let weird = DiskIndex::build(vec![
+            Disk {
+                x: f64::NAN,
+                y: 0.0,
+                r: 5.0,
+            },
+            Disk {
+                x: 0.0,
+                y: 0.0,
+                r: -1.0,
+            },
+            Disk {
+                x: 0.0,
+                y: 0.0,
+                r: 5.0,
+            },
+        ]);
+        assert_eq!(weird.len(), 3);
+        // Only the well-formed disk ever matches; NaN queries match
+        // nothing.
+        assert_eq!(weird.covering(0.0, 0.0), vec![2]);
+        assert_eq!(weird.covering(f64::NAN, 0.0), Vec::<usize>::new());
+        assert_eq!(
+            weird.covering(0.0, 0.0),
+            weird.covering_brute_force(0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn reusable_buffer_is_cleared_between_queries() {
+        let index = DiskIndex::build(grid_32());
+        let mut buf = vec![99, 98, 97];
+        index.covering_into(50.0, 50.0, &mut buf);
+        assert_eq!(buf, index.covering_brute_force(50.0, 50.0));
+        index.covering_into(-500.0, -500.0, &mut buf);
+        assert!(buf.is_empty());
+    }
+}

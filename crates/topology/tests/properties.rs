@@ -7,6 +7,7 @@ use hint_sim::{SimDuration, SimTime};
 use hint_topology::adaptive::{AdaptiveConfig, AdaptiveProber, ProbingMode};
 use hint_topology::delivery::{actual_at, actual_series, DeliveryEstimator};
 use hint_topology::etx::{etx, expected_overhead_monte_carlo, wrong_link_analysis};
+use hint_topology::spatial::{Disk, DiskIndex};
 use hint_topology::ProbeStream;
 use proptest::prelude::*;
 
@@ -109,6 +110,47 @@ proptest! {
         prop_assert!(exp <= cond + 1e-12);
         if delta < 0.1 {
             prop_assert_eq!(exp, 0.0);
+        }
+    }
+}
+
+proptest! {
+    /// The spatial disk index is exactly the brute-force scan: for any
+    /// random AP placement and any query point, `covering` returns the
+    /// identical candidate set, in the identical (ascending-id) order —
+    /// the contract that lets the fleet engine swap its O(M) scan for
+    /// the grid lookup without perturbing a single golden byte.
+    #[test]
+    fn spatial_index_matches_brute_force_scan(
+        placements in proptest::collection::vec(
+            (-1000.0f64..1000.0, -1000.0f64..1000.0, 0.1f64..250.0), 0..48),
+        queries in proptest::collection::vec(
+            (-1200.0f64..1200.0, -1200.0f64..1200.0), 1..24),
+    ) {
+        let disks: Vec<Disk> = placements
+            .iter()
+            .map(|&(x, y, r)| Disk { x, y, r })
+            .collect();
+        let index = DiskIndex::build(disks);
+        for &(px, py) in &queries {
+            let fast = index.covering(px, py);
+            let brute = index.covering_brute_force(px, py);
+            prop_assert_eq!(&fast, &brute, "query ({}, {})", px, py);
+            prop_assert!(
+                fast.windows(2).all(|w| w[0] < w[1]),
+                "ids must ascend: {:?}", fast
+            );
+        }
+        // Queries at disk centres and boundary-adjacent points stress
+        // the cell edges more than uniform points do.
+        for d in index.disks().to_vec() {
+            for (px, py) in [(d.x, d.y), (d.x + d.r, d.y), (d.x, d.y - d.r)] {
+                prop_assert_eq!(
+                    index.covering(px, py),
+                    index.covering_brute_force(px, py),
+                    "disk-anchored query ({}, {})", px, py
+                );
+            }
         }
     }
 }

@@ -25,19 +25,32 @@ use sensor_hints::rateadapt::fleet::FleetSpec;
 use sensor_hints::rateadapt::scenario::ScenarioSpec;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: scenario_run <spec.json> [--json]\n\
+const USAGE: &str = "usage: scenario_run <spec.json> [--json] [--jobs N]\n\
        <spec.json>  a ScenarioSpec or FleetSpec file (schema: EXPERIMENTS.md);\n\
                     a spec with a `clients` field runs as a fleet\n\
        --json       print the full outcome as JSON instead of the\n\
-                    human-readable summary";
+                    human-readable summary\n\
+       --jobs N     shard a fleet's span simulations over N worker\n\
+                    threads (N >= 1; output is byte-identical to serial)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<&str> = None;
     let mut json = false;
-    for arg in &args {
+    let mut jobs: usize = 1;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--jobs" => {
+                jobs = match iter.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => {
+                        eprintln!("scenario_run: --jobs needs an integer >= 1\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -71,7 +84,7 @@ fn main() -> ExitCode {
         Ok(spec) => spec,
         Err(single_err) => {
             match FleetSpec::from_json(&text) {
-                Ok(fleet_spec) => return run_fleet(path, fleet_spec, json),
+                Ok(fleet_spec) => return run_fleet(path, fleet_spec, json, jobs),
                 Err(fleet_err) => {
                     // Malformed spec content is the same user-error
                     // class as a spec that fails validation: exit 2.
@@ -143,8 +156,10 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Compile, run and print an already-parsed fleet spec.
-fn run_fleet(path: &str, spec: FleetSpec, json: bool) -> ExitCode {
+/// Compile, run and print an already-parsed fleet spec. `jobs` worker
+/// threads shard the span simulations; any value prints the identical
+/// outcome (the engine's byte-identity contract).
+fn run_fleet(path: &str, spec: FleetSpec, json: bool, jobs: usize) -> ExitCode {
     let fleet = match FleetScenario::compile(&spec) {
         Ok(f) => f,
         Err(e) => {
@@ -152,7 +167,7 @@ fn run_fleet(path: &str, spec: FleetSpec, json: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = fleet.run();
+    let outcome = fleet.run_with_jobs(jobs);
 
     if json {
         println!("{}", outcome.to_json_pretty());

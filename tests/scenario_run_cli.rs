@@ -154,6 +154,45 @@ fn contended_spec_runs_cleanly_and_reports_contention() {
 }
 
 #[test]
+fn sharded_fleet_json_is_byte_identical_and_metro_runs() {
+    // The --jobs byte-identity contract through the CLI: the checked-in
+    // metro spec prints the same JSON at any worker count.
+    let j1 = scenario_run(&["scenarios/fleet_metro.json", "--json", "--jobs", "1"]);
+    assert!(j1.status.success(), "{j1:?}");
+    let j4 = scenario_run(&["scenarios/fleet_metro.json", "--json", "--jobs", "4"]);
+    assert!(j4.status.success(), "{j4:?}");
+    assert!(
+        j1.stdout == j4.stdout,
+        "--jobs 1 ({} bytes) and --jobs 4 ({} bytes) diverged",
+        j1.stdout.len(),
+        j4.stdout.len()
+    );
+    let outcome =
+        FleetOutcome::from_json(&String::from_utf8_lossy(&j1.stdout)).expect("outcome parses");
+    assert_eq!(outcome.clients.len(), 224);
+    assert_eq!(outcome.aps.len(), 32);
+    // The human-readable summary works too.
+    let human = scenario_run(&["scenarios/fleet_metro.json", "--jobs", "2"]);
+    assert!(human.status.success(), "{human:?}");
+    let stdout = String::from_utf8_lossy(&human.stdout);
+    assert!(stdout.contains("224 clients x 32 APs"), "{stdout}");
+}
+
+#[test]
+fn bad_jobs_values_exit_two() {
+    for args in [
+        &["scenarios/fleet_metro.json", "--jobs", "0"][..],
+        &["scenarios/fleet_metro.json", "--jobs", "many"][..],
+        &["scenarios/fleet_metro.json", "--jobs"][..],
+    ] {
+        let out = scenario_run(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--jobs"), "{err}");
+    }
+}
+
+#[test]
 fn missing_file_is_an_environment_failure() {
     let out = scenario_run(&["/nonexistent/fleet.json"]);
     assert_eq!(out.status.code(), Some(1));
