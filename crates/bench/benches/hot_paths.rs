@@ -170,6 +170,25 @@ fn bench_fleet(c: &mut Criterion) {
     c.bench_function("fleet/metro_1s_224c_32ap", |b| {
         b.iter(|| black_box(metro.run()));
     });
+
+    // The fault-injected fleet: 56 clients x 8 APs for 5 s under the
+    // resilience storm (three AP outages, staggered hint dropouts, two
+    // radio blackouts) — the fault hot path end to end: eviction
+    // sweeps, backed-off rescans, hint-health checks and down-AP
+    // filtering on top of the contended engine. `bench_gate` pins this
+    // so fault-schedule lookups never degrade the scan loop.
+    let resilient = sensor_hints::fleet::FleetScenario::compile(
+        &hint_bench::resilience::configurations(SimDuration::from_secs(5))
+            .into_iter()
+            .find(|(label, _)| *label == "hint-aware + fallback")
+            .expect("known configuration")
+            .1,
+    )
+    .expect("valid resilience fleet");
+
+    c.bench_function("fleet/resilience_5s_56c_8ap", |b| {
+        b.iter(|| black_box(resilient.run()));
+    });
 }
 
 criterion_group!(

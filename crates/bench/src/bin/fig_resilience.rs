@@ -1,0 +1,4 @@
+//! Standalone runner for the fault-injection resilience comparison.
+fn main() {
+    hint_bench::resilience::run();
+}

@@ -31,6 +31,7 @@ pub mod fig_5_1;
 pub mod fleet;
 pub mod metro;
 pub mod report;
+pub mod resilience;
 pub mod route_stability;
 pub mod runner;
 pub mod table_5_1;

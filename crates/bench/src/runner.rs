@@ -12,8 +12,11 @@
 //! pulling job indices from one atomic counter.
 
 use crate::report::Report;
+use crate::table_5_1;
 use crate::{ablations, contention, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1};
-use crate::{fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, fleet, metro, route_stability, table_5_1};
+use crate::{
+    fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, fleet, metro, resilience, route_stability,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
@@ -151,6 +154,11 @@ pub fn full_battery() -> Vec<Job> {
             "fig_metro",
             "Metro fleet: 224 clients x 32 APs through the scaled engine",
             || metro::report().0,
+        ),
+        Job::new(
+            "fig_resilience",
+            "Fault injection: AP outages + hint dropout, legacy vs hint policies",
+            || resilience::report().0,
         ),
         Job::new(
             "ablation_delta_success",
@@ -420,7 +428,7 @@ mod tests {
 
     #[test]
     fn batteries_have_expected_sizes() {
-        assert_eq!(full_battery().len(), 24);
+        assert_eq!(full_battery().len(), 25);
         assert_eq!(smoke_battery().len(), 9);
     }
 
@@ -447,7 +455,7 @@ mod tests {
             names,
             ["fig_3_1", "fig_3_5", "fig_3_6", "fig_3_7", "fig_3_8"]
         );
-        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 24);
+        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 25);
     }
 
     #[test]
@@ -464,7 +472,7 @@ mod tests {
     #[test]
     fn battery_index_lists_every_name_and_description() {
         let index = battery_index(&full_battery());
-        assert_eq!(index.lines().count(), 24);
+        assert_eq!(index.lines().count(), 25);
         // Aligned two-column format: name, padding, description.
         let width = full_battery().iter().map(|j| j.name().len()).max().unwrap();
         for (line, job) in index.lines().zip(full_battery()) {

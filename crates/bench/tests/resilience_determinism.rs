@@ -1,0 +1,140 @@
+//! The fault-injected fleet's determinism contract: the checked-in
+//! `scenarios/fleet_resilience.json` is byte-for-byte the builder's
+//! "hint-aware + fallback" configuration, and its outcome replays
+//! byte-identically — twice, against the golden file, and across
+//! `--jobs` worker counts — even with three AP outages, staggered hint
+//! dropouts, and radio blackouts in the schedule.
+
+use hint_bench::resilience::{
+    configurations, RESILIENCE_APS, RESILIENCE_CLIENTS, RESILIENCE_DURATION,
+};
+use sensor_hints::fleet::FleetScenario;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench; the spec files live at the
+    // workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// The builder spec the checked-in scenario pins: the "hint-aware +
+/// fallback" configuration at the canonical duration.
+fn builder_spec() -> hint_rateadapt::fleet::FleetSpec {
+    configurations(RESILIENCE_DURATION)
+        .into_iter()
+        .find(|(label, _)| *label == "hint-aware + fallback")
+        .expect("known configuration")
+        .1
+}
+
+fn checked_in_resilience() -> hint_rateadapt::fleet::FleetSpec {
+    hint_rateadapt::fleet::FleetSpec::load(&repo_path("scenarios/fleet_resilience.json"))
+        .expect("spec loads")
+}
+
+/// The checked-in resilience spec file IS the builder spec, byte for
+/// byte — fault schedule included. Regenerate (deliberately!) with
+/// `cargo test -p hint-bench --test resilience_determinism -- --ignored`.
+#[test]
+fn checked_in_resilience_spec_is_the_builder_spec() {
+    let file = std::fs::read_to_string(repo_path("scenarios/fleet_resilience.json"))
+        .expect("scenarios/fleet_resilience.json");
+    let built = builder_spec().to_json_pretty() + "\n";
+    assert!(
+        file == built,
+        "scenarios/fleet_resilience.json ({} bytes) is not the builder configuration \
+         ({} bytes); regenerate with \
+         `cargo test -p hint-bench --test resilience_determinism -- --ignored`",
+        file.len(),
+        built.len()
+    );
+    let spec = checked_in_resilience();
+    assert_eq!(spec.clients.len(), RESILIENCE_CLIENTS);
+    assert_eq!(spec.aps.len(), RESILIENCE_APS);
+    assert_eq!(spec.faults.ap_outages.len(), 3);
+    assert!(!spec.faults.hint_dropouts.is_empty());
+}
+
+/// Same compiled fault-injected fleet, run twice — and recompiled —
+/// must be byte-identical.
+#[test]
+fn resilience_runs_twice_byte_identical() {
+    let fleet = FleetScenario::compile(&checked_in_resilience()).expect("valid");
+    let a = fleet.run().to_json_pretty();
+    let b = fleet.run().to_json_pretty();
+    assert!(a == b, "two runs of one compiled resilience fleet diverged");
+    let again = FleetScenario::compile(&checked_in_resilience())
+        .expect("valid")
+        .run()
+        .to_json_pretty();
+    assert!(a == again, "recompiling the spec changed the outcome");
+}
+
+/// The sharding contract under faults: spans truncate at outage
+/// boundaries in Phase A, so every worker count replays the serial
+/// outcome byte-for-byte.
+#[test]
+fn resilience_output_byte_identical_across_jobs() {
+    let fleet = FleetScenario::compile(&checked_in_resilience()).expect("valid");
+    let serial = fleet.run_with_jobs(1).to_json_pretty();
+    for jobs in [2, 4] {
+        let sharded = fleet.run_with_jobs(jobs).to_json_pretty();
+        assert!(
+            serial == sharded,
+            "resilience outcome diverged between --jobs 1 ({} bytes) and --jobs {jobs} \
+             ({} bytes)",
+            serial.len(),
+            sharded.len()
+        );
+    }
+}
+
+/// The golden outcome: the checked-in resilience spec must replay to
+/// the pinned JSON byte-for-byte. Regenerate (deliberately!) with
+/// `cargo test -p hint-bench --test resilience_determinism -- --ignored`.
+#[test]
+fn checked_in_resilience_matches_golden_outcome() {
+    let golden = std::fs::read_to_string(repo_path(
+        "crates/bench/tests/golden/fleet_resilience_outcome.json",
+    ))
+    .expect("golden outcome file");
+    let out = FleetScenario::compile(&checked_in_resilience())
+        .expect("valid")
+        .run();
+    let fresh = out.to_json_pretty() + "\n";
+    assert!(
+        fresh == golden,
+        "resilience outcome diverged from the golden file ({} vs {} bytes); if the \
+         change is intentional, regenerate with \
+         `cargo test -p hint-bench --test resilience_determinism -- --ignored`",
+        fresh.len(),
+        golden.len()
+    );
+    // The golden run carries real resilience metrics.
+    assert!(golden.contains("down_s"), "no AP downtime in the golden");
+    assert!(golden.contains("evictions"), "no evictions in the golden");
+    assert!(golden.contains("fallback_s"), "no fallback in the golden");
+}
+
+/// Regenerate the checked-in spec and golden outcome from the builder.
+/// Deliberate-changes-only: run with
+/// `cargo test -p hint-bench --test resilience_determinism -- --ignored`
+/// and review the diff before committing.
+#[test]
+#[ignore = "regenerates checked-in fixtures; run explicitly after intentional changes"]
+fn regenerate_resilience_fixtures() {
+    let spec = builder_spec();
+    std::fs::write(
+        repo_path("scenarios/fleet_resilience.json"),
+        spec.to_json_pretty() + "\n",
+    )
+    .expect("write spec");
+    let out = FleetScenario::compile(&spec).expect("valid").run();
+    std::fs::write(
+        repo_path("crates/bench/tests/golden/fleet_resilience_outcome.json"),
+        out.to_json_pretty() + "\n",
+    )
+    .expect("write golden");
+}

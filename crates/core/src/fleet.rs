@@ -63,8 +63,8 @@ use hint_mac::contention::{AirtimeArbiter, ContentionParams, Station};
 use hint_mac::hint_proto::HintField;
 use hint_mac::{BitRate, MacTiming};
 use hint_rateadapt::fleet::{
-    jain_index, ContentionMode, FleetApStats, FleetClientOutcome, FleetOutcome, FleetSpec,
-    HandoffPolicy,
+    jain_index, normalize_windows, ContentionMode, FleetApStats, FleetClientOutcome, FleetOutcome,
+    FleetSpec, HandoffPolicy, STALE_HINT_HOLD,
 };
 use hint_rateadapt::protocols::registry::{AdapterFactory, ProtocolRegistry};
 use hint_rateadapt::scenario::{HintSpec, ScenarioError, ScenarioOutcome, HINT_SEED_MASK};
@@ -92,6 +92,14 @@ const PRUNE_AFTER: SimDuration = SimDuration::from_secs(10);
 
 /// Gentle probe cadence for hint-quarantined clients.
 const PROBE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// Largest scan-backoff exponent under fault injection: a dark client's
+/// rescan interval doubles per failed attempt up to `scan_interval <<
+/// MAX_SCAN_BACKOFF_EXP` (32×), then stays capped — the retry budget
+/// that keeps a fault storm from melting the event loop while still
+/// rejoining promptly after short outages. Fault-free runs keep the
+/// fixed cadence, byte-identically to the pre-fault engine.
+const MAX_SCAN_BACKOFF_EXP: u32 = 5;
 
 /// Delivery-probability target used to pick a station's nominal
 /// contention rate from its link SNR (the RBAR-style decision rule):
@@ -198,6 +206,188 @@ fn slice_profile(profile: &MotionProfile, from: SimTime, span: SimDuration) -> M
 }
 
 // ---------------------------------------------------------------------------
+// Fault schedules
+// ---------------------------------------------------------------------------
+
+/// The compiled fault schedule: per-entity sorted, disjoint, half-open
+/// time windows, resolved once at compile time (random storms included)
+/// so every engine query is a cheap lookup and every worker sees the
+/// same schedule.
+#[derive(Clone, Debug)]
+struct ResolvedFaults {
+    /// Per-AP down windows.
+    ap_down: Vec<Vec<(SimTime, SimTime)>>,
+    /// Per-client hint-dropout windows.
+    hint_off: Vec<Vec<(SimTime, SimTime)>>,
+    /// Per-client radio-blackout windows.
+    blackout: Vec<Vec<(SimTime, SimTime)>>,
+    /// Whether hint policies fall back to RSSI once a dropout goes
+    /// stale (`false` is the naive hint-trusting ablation).
+    hint_fallback: bool,
+    /// Whether any window exists at all. `false` takes the exact
+    /// pre-fault code paths, so a fault-free `FaultSpec` run is
+    /// byte-identical to a run with no `FaultSpec` present.
+    active: bool,
+}
+
+/// A client's hint-pipeline health at one instant, under the
+/// stale-then-none dropout model.
+enum HintHealth {
+    /// No dropout: serve live hints.
+    Fresh,
+    /// Dropped out within [`STALE_HINT_HOLD`]: serve the reading frozen
+    /// at the dropout start (carried in the variant).
+    Stale(SimTime),
+    /// Dropped out past the hold: hints unavailable; hint policies fall
+    /// back to legacy RSSI scoring until the stream recovers.
+    Down,
+}
+
+impl ResolvedFaults {
+    /// Resolve `spec.faults` (already validated) against the run: clip
+    /// every window to the run duration, expand the seeded random-outage
+    /// storm, then normalize per entity.
+    fn resolve(spec: &FleetSpec) -> ResolvedFaults {
+        let end = SimTime::ZERO + spec.duration;
+        let clip = |start: SimDuration, dur: SimDuration| {
+            let s = SimTime::ZERO + start;
+            let e_us = s
+                .as_micros()
+                .saturating_add(dur.as_micros())
+                .min(end.as_micros());
+            (s, SimTime::from_micros(e_us))
+        };
+        let mut ap_down: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); spec.aps.len()];
+        for o in &spec.faults.ap_outages {
+            ap_down[o.ap].push(clip(o.start, o.duration));
+        }
+        if let Some(storm) = &spec.faults.random_outages {
+            // The storm stream derives fleet-seed → "fleet-fault", so it
+            // is independent of every other stream in the run and
+            // identical across replays.
+            let mut rng = RngStream::new(spec.seed).derive("fleet-fault");
+            let span_us = storm
+                .max_duration
+                .as_micros()
+                .saturating_sub(storm.min_duration.as_micros());
+            for _ in 0..storm.count {
+                let ap = ((rng.uniform() * spec.aps.len() as f64) as usize)
+                    .min(spec.aps.len().saturating_sub(1));
+                let start_us = (rng.uniform() * spec.duration.as_micros() as f64) as u64;
+                let dur_us = storm
+                    .min_duration
+                    .as_micros()
+                    .saturating_add((rng.uniform() * span_us as f64) as u64);
+                ap_down[ap].push(clip(
+                    SimDuration::from_micros(start_us),
+                    SimDuration::from_micros(dur_us),
+                ));
+            }
+        }
+        let mut hint_off: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); spec.clients.len()];
+        for d in &spec.faults.hint_dropouts {
+            hint_off[d.client].push(clip(d.start, d.duration));
+        }
+        let mut blackout: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); spec.clients.len()];
+        for b in &spec.faults.radio_blackouts {
+            blackout[b.client].push(clip(b.start, b.duration));
+        }
+        let ap_down: Vec<_> = ap_down.into_iter().map(normalize_windows).collect();
+        let hint_off: Vec<_> = hint_off.into_iter().map(normalize_windows).collect();
+        let blackout: Vec<_> = blackout.into_iter().map(normalize_windows).collect();
+        let active = ap_down
+            .iter()
+            .chain(&hint_off)
+            .chain(&blackout)
+            .any(|w| !w.is_empty());
+        ResolvedFaults {
+            ap_down,
+            hint_off,
+            blackout,
+            hint_fallback: spec.faults.hint_fallback,
+            active,
+        }
+    }
+
+    /// The window of `wins` containing `t`, if any (windows are sorted
+    /// and disjoint, and per-entity counts are tiny, so a linear scan
+    /// wins over binary search).
+    fn window_at(wins: &[(SimTime, SimTime)], t: SimTime) -> Option<(SimTime, SimTime)> {
+        wins.iter().copied().find(|&(s, e)| s <= t && t < e)
+    }
+
+    /// Is AP `ap` down at `t`?
+    fn ap_down(&self, ap: usize, t: SimTime) -> bool {
+        Self::window_at(&self.ap_down[ap], t).is_some()
+    }
+
+    /// Is client `c`'s radio off at `t`?
+    fn blacked_out(&self, c: usize, t: SimTime) -> bool {
+        Self::window_at(&self.blackout[c], t).is_some()
+    }
+
+    /// Client `c`'s hint-pipeline health at `t`.
+    fn hint_health(&self, c: usize, t: SimTime) -> HintHealth {
+        match Self::window_at(&self.hint_off[c], t) {
+            None => HintHealth::Fresh,
+            Some((s, _)) if t < s + STALE_HINT_HOLD => HintHealth::Stale(s),
+            Some((s, _)) if !self.hint_fallback => HintHealth::Stale(s),
+            Some(_) => HintHealth::Down,
+        }
+    }
+
+    /// Total length of `wins`, seconds.
+    fn total_s(wins: &[(SimTime, SimTime)]) -> f64 {
+        wins.iter()
+            .map(|&(s, e)| e.saturating_since(s).as_secs_f64())
+            .sum()
+    }
+
+    /// Seconds client `c` spent past the stale hold of a hint dropout —
+    /// the time a hint policy ran in RSSI fallback (zero for the naive
+    /// ablation, which keeps trusting the frozen reading instead).
+    fn fallback_s(&self, c: usize) -> f64 {
+        if !self.hint_fallback {
+            return 0.0;
+        }
+        self.hint_off[c]
+            .iter()
+            .map(|&(s, e)| e.saturating_since(s + STALE_HINT_HOLD).as_secs_f64())
+            .sum()
+    }
+}
+
+/// Ghost airtime an AP burns on a client that vanished silently at
+/// `now` — the Fig. 5-1 model: open-loop blasting until the prune
+/// timeout, or occasional probes if the AP heard a movement hint (the
+/// same accounting the coverage-loss scan path applies).
+fn ghost_airtime_s(
+    table: &NeighborHints<usize>,
+    c: usize,
+    now: SimTime,
+    end: SimTime,
+    probe_airtime_s: f64,
+) -> f64 {
+    let ghost_policy = if table.is_moving(c) {
+        DisassociationPolicy::HintAware {
+            probe_interval: PROBE_INTERVAL,
+        }
+    } else {
+        DisassociationPolicy::Timeout {
+            prune_after: PRUNE_AFTER,
+        }
+    };
+    let window = end.saturating_since(now).min(PRUNE_AFTER);
+    match ghost_policy {
+        DisassociationPolicy::Timeout { .. } => window.as_secs_f64(),
+        DisassociationPolicy::HintAware { probe_interval } => {
+            let probes = (window.as_secs_f64() / probe_interval.as_secs_f64()).ceil();
+            probes * probe_airtime_s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Compiled fleet
 // ---------------------------------------------------------------------------
 
@@ -222,6 +412,8 @@ pub struct FleetScenario {
     /// Spatial index over the AP coverage disks: scans query it instead
     /// of testing every AP (exact-equivalent, so outcomes are unchanged).
     index: DiskIndex,
+    /// Resolved fault schedule (empty and inert for fault-free specs).
+    faults: ResolvedFaults,
 }
 
 /// One scheduled engine event (the queue also pins the FIFO order of
@@ -230,6 +422,12 @@ pub struct FleetScenario {
 enum FleetEvent {
     /// The given client re-evaluates its association.
     Scan(usize),
+    /// The given AP fails (fault schedule): evict its clients.
+    ApDown(usize),
+    /// The given client's radio dies (fault schedule).
+    BlackoutStart(usize),
+    /// The given client's radio recovers (fault schedule).
+    BlackoutEnd(usize),
 }
 
 /// Per-client association bookkeeping during the event phase.
@@ -248,6 +446,16 @@ struct ClientRun {
     /// as a forced handoff.
     pending_forced: bool,
     outage: SimDuration,
+    /// The one scan instant currently considered live. Fault handling
+    /// reschedules scans out from under the queued chain; a queued scan
+    /// arriving at any other instant is stale and is dropped (only
+    /// consulted when the fault schedule is active).
+    next_scan: SimTime,
+    /// Consecutive failed rescans while dark — drives the exponential
+    /// backoff (fault-injected runs only).
+    backoff_exp: u32,
+    /// Rescans performed while unassociated (resilience metric).
+    scan_retries: u32,
 }
 
 /// One association span's traffic simulation, as an arena entry Phase B
@@ -361,6 +569,7 @@ impl FleetScenario {
                 })
                 .collect(),
         );
+        let faults = ResolvedFaults::resolve(spec);
         Ok(FleetScenario {
             spec: spec.clone(),
             env,
@@ -374,6 +583,7 @@ impl FleetScenario {
             hints,
             client_seeds,
             index,
+            faults,
         })
     }
 
@@ -393,15 +603,27 @@ impl FleetScenario {
     }
 
     /// Scan-time candidate list: every AP whose coverage disk contains
-    /// `pos`, with model RSSI, ascending by AP id. The spatial index
-    /// narrows the scan to the APs near `pos`; the final containment
-    /// test re-runs the engine's own distance predicate, so the set is
-    /// byte-identical to a brute-force scan over all APs. Both buffers
-    /// are caller-owned scratch, reused across every scan of the run.
-    fn candidates_into(&self, pos: Position, ids: &mut Vec<usize>, out: &mut Vec<ApCandidate>) {
+    /// `pos` **and is up at `now`**, with model RSSI, ascending by AP
+    /// id. The spatial index narrows the scan to the APs near `pos`;
+    /// the final containment test re-runs the engine's own distance
+    /// predicate, and the down-AP filter applies *after* the index
+    /// query, so the set is byte-identical to a brute-force scan over
+    /// all APs with the same filter (the index's brute-force-equivalence
+    /// property is untouched). Both buffers are caller-owned scratch,
+    /// reused across every scan of the run.
+    fn candidates_into(
+        &self,
+        pos: Position,
+        now: SimTime,
+        ids: &mut Vec<usize>,
+        out: &mut Vec<ApCandidate>,
+    ) {
         self.index.covering_into(pos.x, pos.y, ids);
         out.clear();
         out.extend(ids.iter().filter_map(|&id| {
+            if self.faults.active && self.faults.ap_down(id, now) {
+                return None;
+            }
             let ap = &self.spec.aps[id];
             let ap_pos = Position {
                 x: ap.x_m,
@@ -417,11 +639,12 @@ impl FleetScenario {
         }));
     }
 
-    /// Score one candidate under the fleet's handoff policy. Signal
-    /// scores are dBm; hint scores are predicted dwell seconds,
+    /// Score one candidate under `policy` (normally the fleet's handoff
+    /// policy; legacy RSSI while a client's hints are dropped out).
+    /// Signal scores are dBm; hint scores are predicted dwell seconds,
     /// optionally divided by the candidate link's ETX.
-    fn score(&self, ap: &ApCandidate, client: &ClientMotion) -> f64 {
-        match self.policy {
+    fn score(&self, policy: HandoffPolicy, ap: &ApCandidate, client: &ClientMotion) -> f64 {
+        match policy {
             HandoffPolicy::StrongestSignal => ap.rssi_dbm,
             HandoffPolicy::HintAware => predicted_dwell_s(ap, client),
             HandoffPolicy::HintEtx => {
@@ -436,12 +659,13 @@ impl FleetScenario {
     /// the stable candidate order).
     fn best_candidate(
         &self,
+        policy: HandoffPolicy,
         candidates: &[ApCandidate],
         client: &ClientMotion,
     ) -> Option<(usize, f64)> {
         candidates
             .iter()
-            .map(|ap| (ap.id, self.score(ap, client), ap.rssi_dbm))
+            .map(|ap| (ap.id, self.score(policy, ap, client), ap.rssi_dbm))
             .max_by(|a, b| a.1.total_cmp(&b.1).then(a.2.total_cmp(&b.2)))
             .map(|(id, score, _)| (id, score))
     }
@@ -489,6 +713,9 @@ impl FleetScenario {
                 forced_handoffs: 0,
                 pending_forced: false,
                 outage: SimDuration::ZERO,
+                next_scan: SimTime::ZERO,
+                backoff_exp: 0,
+                scan_retries: 0,
             })
             .collect();
         // AP-side hint tables (fed by frames, as in `neighbors`) and
@@ -498,25 +725,126 @@ impl FleetScenario {
         let mut ap_assoc_s = vec![0.0f64; n_aps];
         let mut ap_handoffs_in = vec![0u32; n_aps];
         let mut ap_wasted_s = vec![0.0f64; n_aps];
+        let mut ap_evictions = vec![0u32; n_aps];
         let probe_airtime_s = MacTiming::ieee80211a()
             .exchange_airtime(BitRate::R6, self.spec.payload_bytes)
             .as_secs_f64();
 
+        let has_faults = self.faults.active;
         let mut queue: EventQueue<FleetEvent> = EventQueue::new();
         for c in 0..n_clients {
             queue.schedule(SimTime::ZERO, FleetEvent::Scan(c));
+        }
+        if has_faults {
+            // Window *starts* become events (evictions and radio deaths
+            // must interrupt associations mid-span); recoveries matter
+            // only to the affected client's own scan chain. Every window
+            // start precedes the run end by validation + clipping.
+            for (a, wins) in self.faults.ap_down.iter().enumerate() {
+                for &(s, _) in wins {
+                    queue.schedule(s, FleetEvent::ApDown(a));
+                }
+            }
+            for (c, wins) in self.faults.blackout.iter().enumerate() {
+                for &(s, e) in wins {
+                    queue.schedule(s, FleetEvent::BlackoutStart(c));
+                    if e < end {
+                        queue.schedule(e, FleetEvent::BlackoutEnd(c));
+                    }
+                }
+            }
         }
         // Scan scratch, reused across every event (no per-scan allocs).
         let mut cand_ids: Vec<usize> = Vec::new();
         let mut candidates: Vec<ApCandidate> = Vec::new();
         while let Some(ev) = queue.pop() {
-            let FleetEvent::Scan(c) = ev.event;
             let now = ev.at;
+            let c = match ev.event {
+                FleetEvent::Scan(c) => c,
+                FleetEvent::ApDown(a) => {
+                    // Evict every associated client: close its span at
+                    // the exact outage boundary (Phase B then never
+                    // simulates traffic across it) and rescan at once.
+                    // The AP is *off*, so unlike a silent departure it
+                    // burns no ghost airtime on the evicted clients.
+                    for (c, run) in runs.iter_mut().enumerate() {
+                        if run.current != Some(a) {
+                            continue;
+                        }
+                        if now > run.span_start {
+                            run.spans.push((run.span_start, now, a));
+                        }
+                        ap_evictions[a] += 1;
+                        run.pending_forced = true;
+                        run.current = None;
+                        // A client evicted mid-reassociation was already
+                        // charged outage through span_start.
+                        run.dark_since = Some(now.max(run.span_start));
+                        run.backoff_exp = 0;
+                        run.next_scan = now;
+                        queue.schedule(now, FleetEvent::Scan(c));
+                    }
+                    continue;
+                }
+                FleetEvent::BlackoutStart(c) => {
+                    let run = &mut runs[c];
+                    if let Some(cur) = run.current {
+                        // The radio dies mid-association: the AP sees a
+                        // silent departure and burns the usual ghost
+                        // window on it.
+                        if now > run.span_start {
+                            run.spans.push((run.span_start, now, cur));
+                        }
+                        ap_wasted_s[cur] +=
+                            ghost_airtime_s(&ap_tables[cur], c, now, end, probe_airtime_s);
+                        run.pending_forced = true;
+                        run.current = None;
+                        run.dark_since = Some(now.max(run.span_start));
+                    }
+                    // No scans while the radio is off: BlackoutEnd
+                    // revives the chain; anything already queued goes
+                    // stale via next_scan.
+                    continue;
+                }
+                FleetEvent::BlackoutEnd(c) => {
+                    let run = &mut runs[c];
+                    run.backoff_exp = 0;
+                    run.next_scan = now;
+                    queue.schedule(now, FleetEvent::Scan(c));
+                    continue;
+                }
+            };
+            if has_faults {
+                // Drop stale scan-chain events (fault handling moved the
+                // chain) and scans that land inside a radio blackout.
+                if now != runs[c].next_scan || self.faults.blacked_out(c, now) {
+                    continue;
+                }
+            }
+            let was_dark = runs[c].current.is_none();
             let pos = self.paths[c].position_at(now);
-            let moving = self.hints[c]
-                .as_ref()
-                .map(|h| h.query(now))
-                .unwrap_or(false);
+            // Hint health gates everything hint-flavoured this scan:
+            // fresh streams serve live readings, stale ones serve the
+            // reading frozen at the dropout start, and a stream past the
+            // stale hold is down — the client stops claiming hints and
+            // (the graceful-degradation headline) hint-aware policies
+            // fall back to legacy RSSI scoring until it recovers.
+            let health = if has_faults {
+                self.faults.hint_health(c, now)
+            } else {
+                HintHealth::Fresh
+            };
+            let (moving, hints_down) = match (&self.hints[c], &health) {
+                (None, _) => (false, false),
+                (Some(h), HintHealth::Fresh) => (h.query(now), false),
+                (Some(h), HintHealth::Stale(s)) => (h.query(*s), false),
+                (Some(_), HintHealth::Down) => (false, true),
+            };
+            let policy = if hints_down {
+                HandoffPolicy::StrongestSignal
+            } else {
+                self.policy
+            };
             let profile = &self.profiles[c];
             let client = ClientMotion {
                 position: pos,
@@ -524,13 +852,14 @@ impl FleetScenario {
                 heading_deg: profile.heading_at(now),
                 speed_mps: if moving { profile.speed_at(now) } else { 0.0 },
             };
-            self.candidates_into(pos, &mut cand_ids, &mut candidates);
+            self.candidates_into(pos, now, &mut cand_ids, &mut candidates);
 
             // The client tells its AP about its movement on every scan
-            // frame (legacy fleets send no hint field, only presence).
+            // frame (legacy fleets send no hint field, only presence —
+            // and neither does a client whose hint stream is down).
             let run = &mut runs[c];
             if let Some(cur) = run.current {
-                let field = if client_hints_on {
+                let field = if client_hints_on && !hints_down {
                     HintField::movement(moving)
                 } else {
                     HintField::legacy()
@@ -543,9 +872,9 @@ impl FleetScenario {
                 candidates
                     .iter()
                     .find(|ap| ap.id == cur)
-                    .map(|ap| self.score(ap, &client))
+                    .map(|ap| self.score(policy, ap, &client))
             });
-            let best = self.best_candidate(&candidates, &client);
+            let best = self.best_candidate(policy, &candidates, &client);
 
             match (run.current, best) {
                 (Some(cur), _) if cur_score.is_none() => {
@@ -554,24 +883,8 @@ impl FleetScenario {
                     // the prune timeout for a silent departure, or
                     // occasional probes if the AP heard a movement hint.
                     run.spans.push((run.span_start, now, cur));
-                    let ghost_policy = if ap_tables[cur].is_moving(c) {
-                        DisassociationPolicy::HintAware {
-                            probe_interval: PROBE_INTERVAL,
-                        }
-                    } else {
-                        DisassociationPolicy::Timeout {
-                            prune_after: PRUNE_AFTER,
-                        }
-                    };
-                    let window = end.saturating_since(now).min(PRUNE_AFTER);
-                    ap_wasted_s[cur] += match ghost_policy {
-                        DisassociationPolicy::Timeout { .. } => window.as_secs_f64(),
-                        DisassociationPolicy::HintAware { probe_interval } => {
-                            let probes =
-                                (window.as_secs_f64() / probe_interval.as_secs_f64()).ceil();
-                            probes * probe_airtime_s
-                        }
-                    };
+                    ap_wasted_s[cur] +=
+                        ghost_airtime_s(&ap_tables[cur], c, now, end, probe_airtime_s);
                     run.pending_forced = true;
                     run.current = None;
                     run.dark_since = Some(now);
@@ -607,8 +920,29 @@ impl FleetScenario {
                 _ => {}
             }
 
-            let next = now + self.spec.handoff.scan_interval;
+            // Chain the next scan. Fault-free runs keep the fixed
+            // cadence (byte-identical to the pre-fault engine);
+            // fault-injected runs back off exponentially while a client
+            // stays dark, up to the capped retry interval.
+            let interval = if has_faults {
+                let run = &mut runs[c];
+                if run.current.is_none() {
+                    if was_dark {
+                        run.scan_retries += 1;
+                    }
+                    let mult = 1u64 << run.backoff_exp.min(MAX_SCAN_BACKOFF_EXP);
+                    run.backoff_exp = (run.backoff_exp + 1).min(MAX_SCAN_BACKOFF_EXP);
+                    self.spec.handoff.scan_interval * mult
+                } else {
+                    run.backoff_exp = 0;
+                    self.spec.handoff.scan_interval
+                }
+            } else {
+                self.spec.handoff.scan_interval
+            };
+            let next = now + interval;
             if next < end {
+                runs[c].next_scan = next;
                 queue.schedule(next, FleetEvent::Scan(c));
             }
         }
@@ -809,6 +1143,13 @@ impl FleetScenario {
                 handoffs: run.handoffs,
                 forced_handoffs: run.forced_handoffs,
                 outage: run.outage,
+                blackout_s: ResolvedFaults::total_s(&self.faults.blackout[c]),
+                fallback_s: if client_hints_on && self.policy != HandoffPolicy::StrongestSignal {
+                    self.faults.fallback_s(c)
+                } else {
+                    0.0
+                },
+                scan_retries: run.scan_retries,
                 outcome: ScenarioOutcome {
                     environment: self.env.name.clone(),
                     protocol: self.protocol_name.clone(),
@@ -841,6 +1182,8 @@ impl FleetScenario {
                     contended_busy_s: ap_busy_s[a],
                     collision_s: ap_collision_s[a],
                     collisions: ap_collisions[a],
+                    down_s: ResolvedFaults::total_s(&self.faults.ap_down[a]),
+                    evictions: ap_evictions[a],
                 })
                 .collect(),
         }
@@ -969,7 +1312,9 @@ impl FleetScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hint_rateadapt::fleet::MediumSpec;
+    use hint_rateadapt::fleet::{
+        ApOutage, FaultSpec, HintDropout, MediumSpec, RadioBlackout, RandomOutages,
+    };
     use hint_rateadapt::scenario::MotionSpec;
     use hint_rateadapt::Workload;
 
@@ -1277,6 +1622,162 @@ mod tests {
             let back = FleetOutcome::from_json(&out.to_json_pretty()).expect("parses");
             assert_eq!(back, out);
         }
+    }
+
+    #[test]
+    fn fault_free_faultspec_runs_byte_identical_to_no_faultspec() {
+        // A FaultSpec that resolves to zero windows (here: a zero-count
+        // random storm) must take the exact pre-fault code paths.
+        let base = crossing_fleet("hint-aware");
+        let mut with_empty = base.clone();
+        with_empty.faults = FaultSpec {
+            random_outages: Some(RandomOutages {
+                count: 0,
+                min_duration: SimDuration::from_secs(1),
+                max_duration: SimDuration::from_secs(2),
+            }),
+            ..FaultSpec::default()
+        };
+        let a = FleetScenario::compile(&base).expect("valid").run();
+        let b = FleetScenario::compile(&with_empty).expect("valid").run();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+    }
+
+    #[test]
+    fn ap_outage_evicts_clients_and_counts_resilience_metrics() {
+        let mut spec = parked_fleet(3, MediumSpec::isolated());
+        spec.faults.ap_outages.push(ApOutage {
+            ap: 0,
+            start: SimDuration::from_secs(4),
+            duration: SimDuration::from_secs(3),
+        });
+        let fleet = FleetScenario::compile(&spec).expect("valid");
+        let out = fleet.run();
+        // Everyone was associated when the AP died: one eviction each,
+        // and the schedule-derived downtime is exact.
+        assert_eq!(out.aps[0].evictions, 3);
+        assert!((out.aps[0].down_s - 3.0).abs() < 1e-9);
+        // A dead AP burns no ghost airtime on its evictees.
+        assert_eq!(out.aps[0].wasted_airtime_s, 0.0);
+        for c in &out.clients {
+            // Eviction, backed-off rescans, rejoin of the same AP: an
+            // outage but no AP-to-AP handoff.
+            assert_eq!(c.aps_visited, vec![0], "client {}", c.client);
+            assert_eq!(c.handoffs, 0, "client {}", c.client);
+            assert!(
+                c.outage >= SimDuration::from_secs(3),
+                "client {} outage {}",
+                c.client,
+                c.outage
+            );
+            assert!(c.scan_retries > 0, "client {}", c.client);
+        }
+        // The fault path keeps the Phase B sharding contract.
+        for jobs in [2, 4] {
+            assert_eq!(out, fleet.run_with_jobs(jobs), "jobs={jobs}");
+        }
+        // And replays byte-identically.
+        assert_eq!(out.to_json_pretty(), fleet.run().to_json_pretty());
+    }
+
+    #[test]
+    fn hint_dropout_falls_back_to_rssi_and_naive_trusting_stays_stuck() {
+        // Client 0 (the eastbound walker) loses its hint stream for the
+        // whole run.
+        let mut spec = crossing_fleet("hint-aware");
+        spec.faults.hint_dropouts.push(HintDropout {
+            client: 0,
+            start: SimDuration::ZERO,
+            duration: SimDuration::from_secs(90),
+        });
+        let out = FleetScenario::compile(&spec).expect("valid").run();
+        // 90 s window minus the 2 s stale hold ran in RSSI fallback.
+        assert!(
+            (out.clients[0].fallback_s - 88.0).abs() < 1e-9,
+            "fallback {}",
+            out.clients[0].fallback_s
+        );
+        assert_eq!(out.clients[1].fallback_s, 0.0);
+        // Degraded, not stranded: the walker still crosses to AP 1.
+        assert!(
+            out.clients[0].aps_visited.len() >= 2,
+            "visited {:?}",
+            out.clients[0].aps_visited
+        );
+
+        // The naive ablation (hint_fallback: false) keeps trusting the
+        // frozen "stationary" reading: every candidate scores an
+        // infinite dwell, hysteresis never clears, and the walker rides
+        // AP 0 to the coverage edge — a forced handoff the fallback
+        // policy avoids by switching on signal strength.
+        let mut naive = spec.clone();
+        naive.faults.hint_fallback = false;
+        let nout = FleetScenario::compile(&naive).expect("valid").run();
+        assert_eq!(nout.clients[0].fallback_s, 0.0);
+        assert!(
+            nout.clients[0].forced_handoffs > out.clients[0].forced_handoffs
+                || nout.clients[0].outage > out.clients[0].outage,
+            "naive should degrade: naive forced={} outage={} vs fallback forced={} outage={}",
+            nout.clients[0].forced_handoffs,
+            nout.clients[0].outage,
+            out.clients[0].forced_handoffs,
+            out.clients[0].outage
+        );
+    }
+
+    #[test]
+    fn radio_blackout_truncates_spans_and_charges_ghost_airtime() {
+        let mut spec = parked_fleet(2, MediumSpec::isolated());
+        spec.faults.radio_blackouts.push(RadioBlackout {
+            client: 1,
+            start: SimDuration::from_secs(3),
+            duration: SimDuration::from_secs(4),
+        });
+        let out = FleetScenario::compile(&spec).expect("valid").run();
+        let dead = &out.clients[1];
+        assert!((dead.blackout_s - 4.0).abs() < 1e-9);
+        assert!(
+            dead.outage >= SimDuration::from_secs(4),
+            "outage {}",
+            dead.outage
+        );
+        // The radio died silently: the AP burns a ghost window on it.
+        assert!(out.aps[0].wasted_airtime_s > 0.0);
+        // The untouched client carries no resilience metrics.
+        assert_eq!(out.clients[0].blackout_s, 0.0);
+        assert_eq!(out.clients[0].scan_retries, 0);
+        // Spans truncate at the blackout boundary: the 12 s run loses
+        // the 4 s hole from AP association time.
+        assert!(
+            out.aps[0].association_s < 2.0 * 12.0 - 3.5,
+            "association_s {}",
+            out.aps[0].association_s
+        );
+        // Everything round-trips with the sparse resilience fields.
+        let back = FleetOutcome::from_json(&out.to_json_pretty()).expect("parses");
+        assert_eq!(back, out);
+    }
+
+    #[test]
+    fn random_outage_storms_are_seed_deterministic() {
+        let mut spec = parked_fleet(3, MediumSpec::isolated());
+        spec.faults.random_outages = Some(RandomOutages {
+            count: 5,
+            min_duration: SimDuration::from_millis(500),
+            max_duration: SimDuration::from_secs(2),
+        });
+        let a = FleetScenario::compile(&spec).expect("valid").run();
+        let b = FleetScenario::compile(&spec).expect("valid").run();
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        // The storm actually took the one AP down for a while.
+        assert!(a.aps[0].down_s > 0.0);
+        assert!(a.aps[0].evictions > 0);
+        // A different fleet seed draws a different storm.
+        let mut reseeded = spec.clone();
+        reseeded.seed ^= 1;
+        let c = FleetScenario::compile(&reseeded).expect("valid").run();
+        assert_ne!(a.aps[0].down_s, c.aps[0].down_s);
     }
 
     #[test]

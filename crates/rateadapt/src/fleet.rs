@@ -27,7 +27,7 @@ use crate::scenario::{
     EnvironmentSpec, HintSpec, MotionSpec, ProtocolSpec, ScenarioError, ScenarioOutcome,
 };
 use crate::workload::Workload;
-use hint_sim::SimDuration;
+use hint_sim::{SimDuration, SimTime};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io;
 use std::path::Path;
@@ -188,6 +188,12 @@ pub const CONTENTION_MODE_NAMES: [&str; 2] = ["isolated", "shared"];
 /// Largest accepted contention window, slots (well past 802.11's 1023,
 /// far below anything that could overflow the arbiter's arithmetic).
 pub const MAX_MEDIUM_CW: u32 = 65_535;
+
+/// Largest supported fleet duration: 24 simulated hours. Far beyond any
+/// checked-in scenario, small enough that the engine's per-second
+/// accumulators and `SimTime` arithmetic can never overflow on a
+/// malformed-but-parseable duration.
+pub const MAX_FLEET_DURATION: SimDuration = SimDuration::from_secs(86_400);
 
 impl ContentionMode {
     /// Parse a mode by its JSON name (case-insensitive).
@@ -410,6 +416,286 @@ impl MediumSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// One AP's failure window: during `[start, start + duration)` the AP
+/// is down — it accepts no associations, appears in no scan, and evicts
+/// every client associated to it at the window start (counted as a
+/// forced disassociation).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ApOutage {
+    /// AP index in the spec's `aps` list.
+    pub ap: usize,
+    /// Offset from the run start (microseconds in JSON).
+    pub start: SimDuration,
+    /// Window length (microseconds in JSON).
+    pub duration: SimDuration,
+}
+
+/// One client's sensor-failure window: during `[start, start +
+/// duration)` the client's hint pipeline is broken. Hint queries return
+/// **stale-then-none**: for the first [`STALE_HINT_HOLD`] the last
+/// pre-dropout reading is served (the detector hasn't noticed yet),
+/// after which hints are unavailable and the hint-aware handoff
+/// policies fall back to legacy RSSI scoring until the stream recovers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HintDropout {
+    /// Client index in the spec's `clients` list.
+    pub client: usize,
+    /// Offset from the run start (microseconds in JSON).
+    pub start: SimDuration,
+    /// Window length (microseconds in JSON).
+    pub duration: SimDuration,
+}
+
+/// One client's radio failure window: during `[start, start +
+/// duration)` the client's radio is off — its association drops (the AP
+/// sees a silent departure), it performs no scans, and it moves no
+/// traffic until the window ends.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RadioBlackout {
+    /// Client index in the spec's `clients` list.
+    pub client: usize,
+    /// Offset from the run start (microseconds in JSON).
+    pub start: SimDuration,
+    /// Window length (microseconds in JSON).
+    pub duration: SimDuration,
+}
+
+/// Seeded AP-outage storm: `count` outage windows with durations drawn
+/// uniformly from `[min_duration, max_duration]`, each hitting a
+/// uniformly drawn AP at a uniformly drawn start time. The generator
+/// stream derives fleet-seed → `"fleet-fault"`, so a storm is as
+/// replayable as a hand-written schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RandomOutages {
+    /// How many outage windows to generate.
+    pub count: u32,
+    /// Shortest generated window (microseconds in JSON).
+    pub min_duration: SimDuration,
+    /// Longest generated window (microseconds in JSON).
+    pub max_duration: SimDuration,
+}
+
+/// How long a broken hint stream keeps serving its last pre-dropout
+/// reading before queries start returning nothing (the stale phase of
+/// the stale-then-none dropout model).
+pub const STALE_HINT_HOLD: SimDuration = SimDuration::from_secs(2);
+
+/// Most random outages a spec may request — far beyond any useful storm,
+/// small enough that resolution stays trivially cheap.
+pub const MAX_RANDOM_OUTAGES: u32 = 4096;
+
+/// The fault schedule of a fleet: deterministic AP outages, per-client
+/// hint dropouts, and per-client radio blackouts, plus an optional
+/// seeded outage storm. Every field is sparse/optional; the default
+/// (empty) schedule is skipped in JSON entirely, and an engine run with
+/// an empty schedule is **byte-identical** to one with no `faults` key
+/// at all.
+///
+/// ```
+/// use hint_rateadapt::fleet::{ApOutage, FaultSpec};
+/// use hint_sim::SimDuration;
+///
+/// let mut f = FaultSpec::default();
+/// assert!(f.is_default());
+/// f.ap_outages.push(ApOutage {
+///     ap: 0,
+///     start: SimDuration::from_secs(5),
+///     duration: SimDuration::from_secs(3),
+/// });
+/// assert!(!f.is_default());
+/// assert!(f.validate(1, 1, SimDuration::from_secs(30)).is_ok());
+/// // Out-of-range AP indices are rejected with an actionable message.
+/// assert!(f
+///     .validate(0, 1, SimDuration::from_secs(30))
+///     .unwrap_err()
+///     .contains("ap_outages[0]"));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Hand-written AP failure windows.
+    pub ap_outages: Vec<ApOutage>,
+    /// Per-client sensor-failure windows.
+    pub hint_dropouts: Vec<HintDropout>,
+    /// Per-client radio-off windows.
+    pub radio_blackouts: Vec<RadioBlackout>,
+    /// Seeded outage storm, generated on top of `ap_outages`.
+    pub random_outages: Option<RandomOutages>,
+    /// When `true` (the default), hint policies fall back to legacy
+    /// RSSI scoring while a client's hints are dropped out. `false`
+    /// models a naive hint-trusting client that keeps acting on its
+    /// stale pre-dropout reading for the whole window (the ablation
+    /// `fig_resilience` compares against).
+    pub hint_fallback: bool,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            ap_outages: Vec::new(),
+            hint_dropouts: Vec::new(),
+            radio_blackouts: Vec::new(),
+            random_outages: None,
+            hint_fallback: true,
+        }
+    }
+}
+
+impl Serialize for FaultSpec {
+    fn to_value(&self) -> Value {
+        // Sparse on the wire: only non-default fields appear, so a
+        // minimal schedule reads as tersely as it was written.
+        let mut fields = Vec::new();
+        if !self.ap_outages.is_empty() {
+            fields.push(("ap_outages".to_string(), self.ap_outages.to_value()));
+        }
+        if !self.hint_dropouts.is_empty() {
+            fields.push(("hint_dropouts".to_string(), self.hint_dropouts.to_value()));
+        }
+        if !self.radio_blackouts.is_empty() {
+            fields.push((
+                "radio_blackouts".to_string(),
+                self.radio_blackouts.to_value(),
+            ));
+        }
+        if let Some(r) = &self.random_outages {
+            fields.push(("random_outages".to_string(), r.to_value()));
+        }
+        if !self.hint_fallback {
+            fields.push(("hint_fallback".to_string(), self.hint_fallback.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FaultSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let f = as_object(v, "FaultSpec")?;
+        Ok(FaultSpec {
+            ap_outages: opt(f, "ap_outages", Vec::new)?,
+            hint_dropouts: opt(f, "hint_dropouts", Vec::new)?,
+            radio_blackouts: opt(f, "radio_blackouts", Vec::new)?,
+            random_outages: opt(f, "random_outages", || None)?,
+            hint_fallback: opt(f, "hint_fallback", || true)?,
+        })
+    }
+}
+
+impl FaultSpec {
+    /// True when this is exactly the default (no faults, fallback on)
+    /// schedule — used to keep fault-free spec files serializing
+    /// without a `faults` field.
+    pub fn is_default(&self) -> bool {
+        *self == FaultSpec::default()
+    }
+
+    /// Validate the schedule against the fleet shape, returning an
+    /// actionable message for the first inconsistency. Every window
+    /// must name an in-range AP/client, last at least 1 µs, and start
+    /// before the run ends.
+    pub fn validate(
+        &self,
+        n_aps: usize,
+        n_clients: usize,
+        run_duration: SimDuration,
+    ) -> Result<(), String> {
+        let check_window = |what: String, start: SimDuration, dur: SimDuration| {
+            if dur.is_zero() {
+                return Err(format!(
+                    "fault {what} has zero duration; a fault window must last at least 1 us"
+                ));
+            }
+            if start >= run_duration {
+                return Err(format!(
+                    "fault {what} starts at {start}, at or past the run end {run_duration}"
+                ));
+            }
+            Ok(())
+        };
+        for (i, o) in self.ap_outages.iter().enumerate() {
+            if o.ap >= n_aps {
+                return Err(format!(
+                    "fault ap_outages[{i}] names AP {}, but the fleet has {n_aps} APs \
+                     (valid indices: 0..={})",
+                    o.ap,
+                    n_aps.saturating_sub(1)
+                ));
+            }
+            check_window(format!("ap_outages[{i}]"), o.start, o.duration)?;
+        }
+        for (i, d) in self.hint_dropouts.iter().enumerate() {
+            if d.client >= n_clients {
+                return Err(format!(
+                    "fault hint_dropouts[{i}] names client {}, but the fleet has \
+                     {n_clients} clients (valid indices: 0..={})",
+                    d.client,
+                    n_clients.saturating_sub(1)
+                ));
+            }
+            check_window(format!("hint_dropouts[{i}]"), d.start, d.duration)?;
+        }
+        for (i, b) in self.radio_blackouts.iter().enumerate() {
+            if b.client >= n_clients {
+                return Err(format!(
+                    "fault radio_blackouts[{i}] names client {}, but the fleet has \
+                     {n_clients} clients (valid indices: 0..={})",
+                    b.client,
+                    n_clients.saturating_sub(1)
+                ));
+            }
+            check_window(format!("radio_blackouts[{i}]"), b.start, b.duration)?;
+        }
+        if let Some(r) = &self.random_outages {
+            if r.count > MAX_RANDOM_OUTAGES {
+                return Err(format!(
+                    "fault random_outages.count {} exceeds the supported limit \
+                     {MAX_RANDOM_OUTAGES}",
+                    r.count
+                ));
+            }
+            if r.count > 0 && r.min_duration.is_zero() {
+                return Err(
+                    "fault random_outages.min_duration must be positive (a zero-length \
+                     outage would be a no-op); give the shortest window you want generated"
+                        .into(),
+                );
+            }
+            if r.min_duration > r.max_duration {
+                return Err(format!(
+                    "fault random_outages.min_duration {} exceeds max_duration {}",
+                    r.min_duration, r.max_duration
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Normalize a list of half-open `(start, end)` time windows: empty
+/// windows drop, the rest sort by start, and overlapping **or
+/// adjacent** windows coalesce into their envelope. The result is the
+/// canonical form of the schedule — sorted, pairwise disjoint,
+/// non-adjacent — and depends only on the *set* of input windows, not
+/// their order (the property `faults.rs` pins), so every engine query
+/// against it is deterministic.
+pub fn normalize_windows(mut windows: Vec<(SimTime, SimTime)>) -> Vec<(SimTime, SimTime)> {
+    windows.retain(|(s, e)| e > s);
+    windows.sort();
+    let mut out: Vec<(SimTime, SimTime)> = Vec::with_capacity(windows.len());
+    for (s, e) in windows {
+        match out.last_mut() {
+            // `s <= last end` merges touching windows too: [1,2) + [2,3)
+            // is one [1,3) spell, not two back-to-back ones.
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
 /// A complete, serializable description of one multi-client fleet
 /// experiment. Durations serialize as integer microseconds, like every
 /// scenario field (schema: EXPERIMENTS.md, "Fleet spec files").
@@ -470,6 +756,11 @@ pub struct FleetSpec {
     /// so absent — as in every pre-contention spec file — means
     /// `isolated`, which reproduces the per-link engine byte-identically.
     pub medium: MediumSpec,
+    /// Fault schedule: AP outages, hint dropouts, radio blackouts.
+    /// Optional in JSON (and skipped when default), so absent — as in
+    /// every pre-fault spec file — means a fault-free run, which
+    /// reproduces the previous engine behaviour byte-identically.
+    pub faults: FaultSpec,
     /// Link payload size, bytes.
     pub payload_bytes: u32,
 }
@@ -490,6 +781,7 @@ impl Default for FleetSpec {
             hints: HintSpec::Sensors { seed: None },
             handoff: HandoffSpec::default(),
             medium: MediumSpec::default(),
+            faults: FaultSpec::default(),
             payload_bytes: 1000,
         }
     }
@@ -511,6 +803,9 @@ impl Serialize for FleetSpec {
         if !self.medium.is_default() {
             fields.push(("medium".to_string(), self.medium.to_value()));
         }
+        if !self.faults.is_default() {
+            fields.push(("faults".to_string(), self.faults.to_value()));
+        }
         fields.push(("payload_bytes".to_string(), self.payload_bytes.to_value()));
         Value::Object(fields)
     }
@@ -531,6 +826,7 @@ impl Deserialize for FleetSpec {
             hints: Deserialize::from_value(req(f, "hints", TY)?)?,
             handoff: Deserialize::from_value(req(f, "handoff", TY)?)?,
             medium: opt(f, "medium", MediumSpec::default)?,
+            faults: opt(f, "faults", FaultSpec::default)?,
             payload_bytes: Deserialize::from_value(req(f, "payload_bytes", TY)?)?,
         })
     }
@@ -552,6 +848,17 @@ impl FleetSpec {
         let bad = |msg: String| Err(ScenarioError::BadFleet(msg));
         if self.duration.is_zero() {
             return Err(ScenarioError::ZeroDuration);
+        }
+        if self.duration > MAX_FLEET_DURATION {
+            // Beyond this the engine's per-second accumulators and
+            // SimTime arithmetic would be asked to allocate/overflow on
+            // absurd inputs (e.g. duration u64::MAX µs); fail the spec
+            // instead of the process.
+            return bad(format!(
+                "fleet duration {} exceeds the supported maximum {MAX_FLEET_DURATION} \
+                 (24 simulated hours); split longer experiments into multiple runs",
+                self.duration
+            ));
         }
         if self.payload_bytes == 0 {
             return Err(ScenarioError::ZeroPayload);
@@ -640,6 +947,12 @@ impl FleetSpec {
             ));
         }
         if let Err(msg) = self.medium.validate() {
+            return bad(msg);
+        }
+        if let Err(msg) = self
+            .faults
+            .validate(self.aps.len(), self.clients.len(), self.duration)
+        {
             return bad(msg);
         }
         if !registry.contains(&self.protocol.name) {
@@ -801,6 +1114,13 @@ impl FleetBuilder {
         self
     }
 
+    /// Select the fault schedule (see [`FaultSpec`]); the default is
+    /// fault-free.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.spec.faults = faults;
+        self
+    }
+
     /// Override the link payload size.
     pub fn payload_bytes(mut self, bytes: u32) -> Self {
         self.spec.payload_bytes = bytes;
@@ -831,7 +1151,12 @@ impl FleetBuilder {
 /// One client's share of a fleet run: its aggregated link results (a
 /// full single-link [`ScenarioOutcome`]) plus the association history
 /// the fleet engine observed for it.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// The resilience fields (`blackout_s` through `scan_retries`) are
+/// produced only by fault-injected runs; they serialize only when
+/// non-zero, so fault-free outcomes — including every pre-fault golden
+/// file — stay byte-identical.
+#[derive(Clone, Debug, PartialEq)]
 pub struct FleetClientOutcome {
     /// Client index in the spec's `clients` list.
     pub client: usize,
@@ -846,9 +1171,62 @@ pub struct FleetClientOutcome {
     /// Total unassociated time (handoff gaps + out-of-coverage spells),
     /// microseconds in JSON.
     pub outage: SimDuration,
+    /// Time this client's radio was blacked out by the fault schedule,
+    /// seconds (a subset of `outage`).
+    pub blackout_s: f64,
+    /// Time the hint policies ran on legacy RSSI scoring because this
+    /// client's hints were dropped out, seconds.
+    pub fallback_s: f64,
+    /// Re-scans performed while unassociated under the exponential
+    ///-backoff schedule fault-injected runs use.
+    pub scan_retries: u32,
     /// The client's aggregated link-level outcome across all its
     /// association spans.
     pub outcome: ScenarioOutcome,
+}
+
+impl Serialize for FleetClientOutcome {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("client".to_string(), self.client.to_value()),
+            ("aps_visited".to_string(), self.aps_visited.to_value()),
+            ("handoffs".to_string(), self.handoffs.to_value()),
+            (
+                "forced_handoffs".to_string(),
+                self.forced_handoffs.to_value(),
+            ),
+            ("outage".to_string(), self.outage.to_value()),
+        ];
+        if self.blackout_s != 0.0 {
+            fields.push(("blackout_s".to_string(), self.blackout_s.to_value()));
+        }
+        if self.fallback_s != 0.0 {
+            fields.push(("fallback_s".to_string(), self.fallback_s.to_value()));
+        }
+        if self.scan_retries != 0 {
+            fields.push(("scan_retries".to_string(), self.scan_retries.to_value()));
+        }
+        fields.push(("outcome".to_string(), self.outcome.to_value()));
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FleetClientOutcome {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let f = as_object(v, "FleetClientOutcome")?;
+        const TY: &str = "FleetClientOutcome";
+        Ok(FleetClientOutcome {
+            client: Deserialize::from_value(req(f, "client", TY)?)?,
+            aps_visited: Deserialize::from_value(req(f, "aps_visited", TY)?)?,
+            handoffs: Deserialize::from_value(req(f, "handoffs", TY)?)?,
+            forced_handoffs: Deserialize::from_value(req(f, "forced_handoffs", TY)?)?,
+            outage: Deserialize::from_value(req(f, "outage", TY)?)?,
+            blackout_s: opt(f, "blackout_s", || 0.0)?,
+            fallback_s: opt(f, "fallback_s", || 0.0)?,
+            scan_retries: opt(f, "scan_retries", || 0)?,
+            outcome: Deserialize::from_value(req(f, "outcome", TY)?)?,
+        })
+    }
 }
 
 /// One AP's aggregate view of the run.
@@ -876,6 +1254,12 @@ pub struct FleetApStats {
     pub collision_s: f64,
     /// Collision events on this AP's medium (shared contention only).
     pub collisions: u32,
+    /// Time this AP was down under the fault schedule, seconds
+    /// (fault-injected runs only; serialized only when non-zero).
+    pub down_s: f64,
+    /// Clients this AP evicted when it failed (forced disassociations;
+    /// fault-injected runs only, serialized only when non-zero).
+    pub evictions: u32,
 }
 
 impl Serialize for FleetApStats {
@@ -900,6 +1284,12 @@ impl Serialize for FleetApStats {
         if self.collisions != 0 {
             fields.push(("collisions".to_string(), self.collisions.to_value()));
         }
+        if self.down_s != 0.0 {
+            fields.push(("down_s".to_string(), self.down_s.to_value()));
+        }
+        if self.evictions != 0 {
+            fields.push(("evictions".to_string(), self.evictions.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -915,6 +1305,8 @@ impl Deserialize for FleetApStats {
             contended_busy_s: opt(f, "contended_busy_s", || 0.0)?,
             collision_s: opt(f, "collision_s", || 0.0)?,
             collisions: opt(f, "collisions", || 0)?,
+            down_s: opt(f, "down_s", || 0.0)?,
+            evictions: opt(f, "evictions", || 0)?,
         })
     }
 }
@@ -1097,6 +1489,8 @@ mod tests {
             contended_busy_s: 0.0,
             collision_s: 0.0,
             collisions: 0,
+            down_s: 0.0,
+            evictions: 0,
         };
         assert_eq!(
             object_keys(&isolated.to_value()),
@@ -1119,6 +1513,82 @@ mod tests {
                 "collisions"
             ]
         );
+        let faulted = FleetApStats {
+            down_s: 6.0,
+            evictions: 3,
+            ..contended
+        };
+        assert_eq!(
+            object_keys(&faulted.to_value()),
+            [
+                "association_s",
+                "handoffs_in",
+                "wasted_airtime_s",
+                "contended_busy_s",
+                "collision_s",
+                "collisions",
+                "down_s",
+                "evictions"
+            ]
+        );
+
+        // Client outcomes: the resilience fields appear, in order,
+        // between `outage` and `outcome` — and only when non-zero.
+        let clean_client = FleetClientOutcome {
+            client: 0,
+            aps_visited: vec![1],
+            handoffs: 1,
+            forced_handoffs: 0,
+            outage: SimDuration::from_millis(50),
+            blackout_s: 0.0,
+            fallback_s: 0.0,
+            scan_retries: 0,
+            outcome: ScenarioOutcome {
+                environment: "office".to_string(),
+                protocol: "HintAware".to_string(),
+                seed: 9,
+                result: crate::SimResult {
+                    packets_sent: 10,
+                    packets_delivered: 9,
+                    attempts: 11,
+                    goodput_bps: 1e6,
+                    duration: SimDuration::from_secs(1),
+                    rate_usage: [0; hint_mac::BitRate::COUNT],
+                    delivered_per_second: vec![9],
+                },
+            },
+        };
+        assert_eq!(
+            object_keys(&clean_client.to_value()),
+            [
+                "client",
+                "aps_visited",
+                "handoffs",
+                "forced_handoffs",
+                "outage",
+                "outcome"
+            ]
+        );
+        let faulted_client = FleetClientOutcome {
+            blackout_s: 3.0,
+            fallback_s: 4.5,
+            scan_retries: 6,
+            ..clean_client
+        };
+        assert_eq!(
+            object_keys(&faulted_client.to_value()),
+            [
+                "client",
+                "aps_visited",
+                "handoffs",
+                "forced_handoffs",
+                "outage",
+                "blackout_s",
+                "fallback_s",
+                "scan_retries",
+                "outcome"
+            ]
+        );
 
         let mut outcome = FleetOutcome {
             environment: "office".to_string(),
@@ -1126,7 +1596,7 @@ mod tests {
             policy: "hint-aware".to_string(),
             contention: ContentionMode::Isolated.name().to_string(),
             seed: 7,
-            clients: Vec::new(),
+            clients: vec![faulted_client],
             aps: vec![contended],
             total_handoffs: 1,
             forced_handoffs: 0,
@@ -1407,5 +1877,200 @@ mod tests {
         });
         let msg = zero_difs.validate().unwrap_err().to_string();
         assert!(msg.contains("DIFS must be positive"), "{msg}");
+    }
+
+    fn outage(ap: usize, start_s: u64, dur_s: u64) -> ApOutage {
+        ApOutage {
+            ap,
+            start: SimDuration::from_secs(start_s),
+            duration: SimDuration::from_secs(dur_s),
+        }
+    }
+
+    #[test]
+    fn faults_default_to_empty_and_are_skipped_in_json() {
+        let spec = walking_fleet().validate().expect("valid fleet");
+        assert!(spec.faults.is_default());
+        let json = spec.to_json_pretty();
+        assert!(!json.contains("faults"), "default faults must be skipped");
+        let reparsed = FleetSpec::from_json(&json).expect("round-trips");
+        assert_eq!(reparsed.faults, FaultSpec::default());
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn fault_schedule_round_trips_sparsely() {
+        let faults = FaultSpec {
+            ap_outages: vec![outage(1, 5, 3)],
+            hint_dropouts: vec![HintDropout {
+                client: 0,
+                start: SimDuration::from_secs(2),
+                duration: SimDuration::from_secs(4),
+            }],
+            ..FaultSpec::default()
+        };
+        let spec = walking_fleet()
+            .faults(faults.clone())
+            .validate()
+            .expect("valid faulted fleet");
+        let json = spec.to_json();
+        // Sparse on the wire: only the populated fields appear.
+        assert!(json.contains("\"ap_outages\""), "{json}");
+        assert!(json.contains("\"hint_dropouts\""), "{json}");
+        assert!(!json.contains("radio_blackouts"), "{json}");
+        assert!(!json.contains("random_outages"), "{json}");
+        assert!(!json.contains("hint_fallback"), "{json}");
+        let back = FleetSpec::from_json(&json).expect("parses");
+        assert_eq!(back, spec);
+        // The naive-hint-trusting ablation flag serializes only when off.
+        let naive = walking_fleet()
+            .faults(FaultSpec {
+                hint_fallback: false,
+                ..faults
+            })
+            .into_spec();
+        let json = naive.to_json();
+        assert!(json.contains("\"hint_fallback\":false"), "{json}");
+        assert_eq!(FleetSpec::from_json(&json).expect("parses"), naive);
+    }
+
+    #[test]
+    fn fault_validation_rejects_out_of_range_indices() {
+        // The walking fleet has 2 APs and 1 client.
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                ap_outages: vec![outage(2, 5, 3)],
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("ap_outages[0]"), "{msg}");
+        assert!(msg.contains("AP 2"), "{msg}");
+        assert!(msg.contains("0..=1"), "must name the valid range: {msg}");
+
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                hint_dropouts: vec![HintDropout {
+                    client: 7,
+                    start: SimDuration::from_secs(1),
+                    duration: SimDuration::from_secs(1),
+                }],
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("hint_dropouts[0]"), "{msg}");
+        assert!(msg.contains("client 7"), "{msg}");
+
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                radio_blackouts: vec![RadioBlackout {
+                    client: 1,
+                    start: SimDuration::from_secs(1),
+                    duration: SimDuration::from_secs(1),
+                }],
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("radio_blackouts[0]"));
+    }
+
+    #[test]
+    fn fault_validation_rejects_degenerate_windows() {
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                ap_outages: vec![outage(0, 5, 0)],
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("zero duration"), "{msg}");
+
+        // The walking fleet lasts 20 s: a window starting at or past the
+        // end can never fire and is almost certainly a typo.
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                ap_outages: vec![outage(0, 20, 5)],
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at or past the run end"), "{msg}");
+
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                random_outages: Some(RandomOutages {
+                    count: 3,
+                    min_duration: SimDuration::ZERO,
+                    max_duration: SimDuration::from_secs(2),
+                }),
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("min_duration must be positive"));
+
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                random_outages: Some(RandomOutages {
+                    count: 3,
+                    min_duration: SimDuration::from_secs(5),
+                    max_duration: SimDuration::from_secs(2),
+                }),
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds max_duration"));
+
+        let err = walking_fleet()
+            .faults(FaultSpec {
+                random_outages: Some(RandomOutages {
+                    count: MAX_RANDOM_OUTAGES + 1,
+                    min_duration: SimDuration::from_secs(1),
+                    max_duration: SimDuration::from_secs(2),
+                }),
+                ..FaultSpec::default()
+            })
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds the supported limit"));
+    }
+
+    #[test]
+    fn absurd_durations_fail_validation_instead_of_the_engine() {
+        // u64::MAX µs used to be parseable and would overflow SimTime
+        // arithmetic (or OOM the per-second accumulators) inside the
+        // engine; now it is a spec error with a actionable message.
+        let mut spec = walking_fleet().into_spec();
+        spec.duration = SimDuration::from_micros(u64::MAX);
+        let msg = spec.validate().unwrap_err().to_string();
+        assert!(msg.contains("exceeds the supported maximum"), "{msg}");
+        assert!(msg.contains("24 simulated hours"), "{msg}");
+        // The maximum itself is fine.
+        spec.duration = MAX_FLEET_DURATION;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn normalize_windows_canonicalizes() {
+        let t = SimTime::from_secs;
+        // Overlapping and adjacent windows coalesce; empties drop.
+        let out = normalize_windows(vec![
+            (t(5), t(8)),
+            (t(1), t(3)),
+            (t(3), t(4)), // adjacent to [1,3)
+            (t(6), t(6)), // empty
+            (t(7), t(10)),
+        ]);
+        assert_eq!(out, vec![(t(1), t(4)), (t(5), t(10))]);
+        // Idempotent: normalizing a normal form is the identity.
+        assert_eq!(normalize_windows(out.clone()), out);
+        assert_eq!(normalize_windows(Vec::new()), Vec::new());
     }
 }

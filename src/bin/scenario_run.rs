@@ -22,26 +22,37 @@
 use sensor_hints::fleet::FleetScenario;
 use sensor_hints::mac::BitRate;
 use sensor_hints::rateadapt::fleet::FleetSpec;
+use sensor_hints::rateadapt::protocols::registry::ProtocolRegistry;
 use sensor_hints::rateadapt::scenario::ScenarioSpec;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: scenario_run <spec.json> [--json] [--jobs N]\n\
+const USAGE: &str = "usage: scenario_run <spec.json> [--json] [--jobs N] [--validate]\n\
        <spec.json>  a ScenarioSpec or FleetSpec file (schema: EXPERIMENTS.md);\n\
                     a spec with a `clients` field runs as a fleet\n\
        --json       print the full outcome as JSON instead of the\n\
                     human-readable summary\n\
        --jobs N     shard a fleet's span simulations over N worker\n\
-                    threads (N >= 1; output is byte-identical to serial)";
+                    threads (N >= 1; output is byte-identical to serial)\n\
+       --validate   parse and validate the spec, then exit without\n\
+                    simulating anything\n\
+\n\
+exit codes:\n\
+       0  success (the run finished, or --validate accepted the spec)\n\
+       1  environment failure (e.g. the spec file cannot be read)\n\
+       2  user error (bad arguments, malformed JSON, or a spec that\n\
+          fails validation)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<&str> = None;
     let mut json = false;
     let mut jobs: usize = 1;
+    let mut validate = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--validate" => validate = true,
             "--jobs" => {
                 jobs = match iter.next().map(|v| v.parse::<usize>()) {
                     Some(Ok(n)) if n >= 1 => n,
@@ -84,7 +95,12 @@ fn main() -> ExitCode {
         Ok(spec) => spec,
         Err(single_err) => {
             match FleetSpec::from_json(&text) {
-                Ok(fleet_spec) => return run_fleet(path, fleet_spec, json, jobs),
+                Ok(fleet_spec) => {
+                    if validate {
+                        return validate_fleet(path, &fleet_spec);
+                    }
+                    return run_fleet(path, fleet_spec, json, jobs);
+                }
                 Err(fleet_err) => {
                     // Malformed spec content is the same user-error
                     // class as a spec that fails validation: exit 2.
@@ -99,6 +115,19 @@ fn main() -> ExitCode {
             }
         }
     };
+    if validate {
+        // Validation only (cheap: no trace generation, no simulation).
+        return match spec.validate(ProtocolRegistry::builtin_shared()) {
+            Ok(()) => {
+                println!("scenario_run: {path}: valid single-link spec");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("scenario_run: invalid spec {path}: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let scenario = match spec.compile() {
         Ok(s) => s,
         Err(e) => {
@@ -156,6 +185,25 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Validate an already-parsed fleet spec without compiling or running
+/// it (`--validate`): exit 0 on a valid spec, 2 otherwise.
+fn validate_fleet(path: &str, spec: &FleetSpec) -> ExitCode {
+    match spec.validate() {
+        Ok(()) => {
+            println!(
+                "scenario_run: {path}: valid fleet spec ({} clients x {} APs)",
+                spec.clients.len(),
+                spec.aps.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scenario_run: invalid spec {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// Compile, run and print an already-parsed fleet spec. `jobs` worker
 /// threads shard the span simulations; any value prints the identical
 /// outcome (the engine's byte-identity contract).
@@ -195,6 +243,14 @@ fn run_fleet(path: &str, spec: FleetSpec, json: bool, jobs: usize) -> ExitCode {
         "handoffs    : {} total, {} forced (coverage loss)",
         outcome.total_handoffs, outcome.forced_handoffs
     );
+    let down_s: f64 = outcome.aps.iter().map(|a| a.down_s).sum();
+    let evictions: u32 = outcome.aps.iter().map(|a| a.evictions).sum();
+    let fallback_s: f64 = outcome.clients.iter().map(|c| c.fallback_s).sum();
+    if down_s > 0.0 || evictions > 0 || fallback_s > 0.0 {
+        println!(
+            "faults      : {down_s:.1} s AP downtime, {evictions} evictions, {fallback_s:.1} s hint fallback"
+        );
+    }
     println!(
         "aggregate   : {:.2} Mbit/s, Jain fairness {:.3}",
         outcome.aggregate_goodput_mbps, outcome.jain_fairness

@@ -196,6 +196,87 @@ fn bad_jobs_values_exit_two() {
 fn missing_file_is_an_environment_failure() {
     let out = scenario_run(&["/nonexistent/fleet.json"]);
     assert_eq!(out.status.code(), Some(1));
+    // --validate keeps the same exit-code split: a missing file is an
+    // environment failure, not a spec error.
+    let out = scenario_run(&["/nonexistent/fleet.json", "--validate"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn validate_flag_checks_specs_without_simulating() {
+    // Valid specs of both families: exit 0 and a confirmation, no
+    // simulation output.
+    let out = scenario_run(&["scenarios/mixed_office_tcp.json", "--validate"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid single-link spec"), "{stdout}");
+    assert!(!stdout.contains("goodput"), "must not simulate: {stdout}");
+
+    let out = scenario_run(&["scenarios/fleet_office_walk.json", "--validate"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid fleet spec"), "{stdout}");
+    assert!(!stdout.contains("handoffs"), "must not simulate: {stdout}");
+
+    // Invalid specs of both families: exit 2 with the validator's
+    // actionable message on stderr.
+    let mut bad_fleet = checked_in_fleet();
+    bad_fleet.handoff.policy = "teleport".into();
+    let path = save_temp("validate_bad_policy.json", &bad_fleet);
+    let out = scenario_run(&[path.to_str().unwrap(), "--validate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown handoff policy"), "{err}");
+
+    let garbage = std::env::temp_dir().join("scenario_run_cli_validate_garbage.json");
+    std::fs::write(&garbage, "{\"motion\": [").expect("temp file");
+    let out = scenario_run(&[garbage.to_str().unwrap(), "--validate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // --help documents the exit codes.
+    let help = scenario_run(&["--help"]);
+    assert!(help.status.success());
+    let text = String::from_utf8_lossy(&help.stdout);
+    assert!(text.contains("--validate"), "{text}");
+    assert!(text.contains("exit codes"), "{text}");
+}
+
+#[test]
+fn bad_fault_schedules_exit_two_with_actionable_stderr() {
+    use sensor_hints::rateadapt::fleet::ApOutage;
+    use sensor_hints::sim::SimDuration;
+
+    // An outage naming an AP the fleet does not have: exit 2 both when
+    // running and when validating.
+    let mut oob = checked_in_fleet();
+    oob.faults.ap_outages.push(ApOutage {
+        ap: 99,
+        start: SimDuration::from_secs(1),
+        duration: SimDuration::from_secs(2),
+    });
+    let path = save_temp("fault_oob_ap.json", &oob);
+    for extra in [&[][..], &["--validate"][..]] {
+        let mut args = vec![path.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = scenario_run(&args);
+        assert_eq!(out.status.code(), Some(2), "{extra:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("ap_outages[0]"), "{err}");
+        assert!(err.contains("99"), "{err}");
+    }
+
+    // A zero-duration window names the offending entry too.
+    let mut zero = checked_in_fleet();
+    zero.faults.ap_outages.push(ApOutage {
+        ap: 0,
+        start: SimDuration::from_secs(1),
+        duration: SimDuration::ZERO,
+    });
+    let path = save_temp("fault_zero_window.json", &zero);
+    let out = scenario_run(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("zero duration"), "{err}");
 }
 
 #[test]
