@@ -18,9 +18,6 @@
 //! * [`cellular`] — the Sec. 5.5 sketch: hint-scaled neighbour-cell
 //!   scanning and speed-aware handoff that skips transient micro cells.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod association;
 pub mod cellular;
 pub mod disassociation;

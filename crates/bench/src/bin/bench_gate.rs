@@ -31,12 +31,18 @@ use serde::Deserialize;
 struct BenchEntry {
     id: String,
     mean_ns: f64,
-    #[allow(dead_code)]
     min_ns: f64,
-    #[allow(dead_code)]
     max_ns: f64,
-    #[allow(dead_code)]
     iterations: u64,
+}
+
+impl BenchEntry {
+    /// Within-run spread, `(max − min) / mean`, as a percentage — the
+    /// noise context a verdict should be read against (a 40% delta under
+    /// a 60% spread is jitter; under a 3% spread it is a regression).
+    fn spread_pct(&self) -> f64 {
+        (self.max_ns - self.min_ns) / self.mean_ns.max(1e-9) * 100.0
+    }
 }
 
 const USAGE: &str = "usage: bench_gate [--tolerance FRACTION] [--floor-ns NS] [--allow-missing] \
@@ -97,15 +103,20 @@ fn main() {
     let mut regressions = 0usize;
     let mut missing = 0usize;
     println!(
-        "{:<40} {:>12} {:>12} {:>8}  verdict",
-        "benchmark", "baseline ns", "current ns", "delta"
+        "{:<40} {:>12} {:>12} {:>8} {:>8} {:>10}  verdict",
+        "benchmark", "baseline ns", "current ns", "delta", "spread", "iters"
     );
     for base in &baseline {
         let Some(cur) = current.iter().find(|c| c.id == base.id) else {
             missing += 1;
             println!(
-                "{:<40} {:>12.1} {:>12} {:>8}  MISSING in current",
-                base.id, base.mean_ns, "-", "-"
+                "{:<40} {:>12.1} {:>12} {:>8} {:>7.1}% {:>10}  MISSING in current",
+                base.id,
+                base.mean_ns,
+                "-",
+                "-",
+                base.spread_pct(),
+                base.iterations
             );
             continue;
         };
@@ -121,18 +132,25 @@ fn main() {
             "ok"
         };
         println!(
-            "{:<40} {:>12.1} {:>12.1} {:>+7.1}%  {verdict}",
+            "{:<40} {:>12.1} {:>12.1} {:>+7.1}% {:>7.1}% {:>10}  {verdict}",
             base.id,
             base.mean_ns,
             cur.mean_ns,
-            delta * 100.0
+            delta * 100.0,
+            cur.spread_pct(),
+            cur.iterations
         );
     }
     for cur in &current {
         if !baseline.iter().any(|b| b.id == cur.id) {
             println!(
-                "{:<40} {:>12} {:>12.1} {:>8}  NEW (no baseline)",
-                cur.id, "-", cur.mean_ns, "-"
+                "{:<40} {:>12} {:>12.1} {:>8} {:>7.1}% {:>10}  NEW (no baseline)",
+                cur.id,
+                "-",
+                cur.mean_ns,
+                "-",
+                cur.spread_pct(),
+                cur.iterations
             );
         }
     }

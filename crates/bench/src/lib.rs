@@ -13,9 +13,6 @@
 //! the authors' testbed, so each experiment checks *who wins, by roughly
 //! what factor, and where crossovers fall*.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ablations;
 pub mod contention;
 pub mod etx_overhead;

@@ -110,6 +110,26 @@ fn fleet_jobs_parallel_output_identical_to_serial() {
     assert!(serial.contains("\"policy\": \"hint-etx\""));
 }
 
+/// Regenerates `scenarios/fleet_office_walk.json` and its golden
+/// outcome — deliberately, after a change that re-anchors seeded draws:
+///
+/// ```text
+/// cargo test -p hint-bench --test fleet_determinism -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes the checked-in spec and golden outcome files"]
+fn regenerate_checked_in_files() {
+    let spec = office_walk_fleet("hint-etx", HintSpec::Sensors { seed: None });
+    spec.save(&repo_path("scenarios/fleet_office_walk.json"))
+        .expect("spec written");
+    let out = FleetScenario::compile(&spec).expect("valid").run();
+    std::fs::write(
+        repo_path("crates/bench/tests/golden/fleet_office_walk_outcome.json"),
+        out.to_json_pretty() + "\n",
+    )
+    .expect("golden written");
+}
+
 /// The golden outcome: the checked-in spec must replay to the pinned
 /// JSON byte-for-byte. Regenerate (deliberately!) with
 /// `scenario_run scenarios/fleet_office_walk.json --json` after any

@@ -28,9 +28,6 @@
 //! conditional loss — are explicit model inputs, validated by tests in
 //! [`analysis`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod analysis;
 pub mod delivery;
 pub mod environments;

@@ -74,7 +74,6 @@ use hint_sensors::motion::{MotionProfile, MotionSegment};
 use hint_sim::{EventQueue, RngStream, SimDuration, SimTime};
 use hint_topology::spatial::{Disk, DiskIndex};
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -156,6 +155,8 @@ impl ClientPath {
             .iter()
             .rev()
             .find(|(start, _, _)| *start <= t)
+            // detlint::allow(PANIC001): ClientPath::new pushes one leg per
+            // motion segment and MotionProfile guarantees >= 1 segment
             .expect("paths have >= 1 leg");
         let dt = t.saturating_since(*leg_t).as_secs_f64();
         let v = seg.state.speed_mps();
@@ -196,6 +197,7 @@ fn slice_profile(profile: &MotionProfile, from: SimTime, span: SimDuration) -> M
     }
     if !remaining.is_zero() {
         // Past the schedule: the last segment's state continues.
+        // detlint::allow(PANIC001): MotionProfile::new rejects empty schedules
         let last = *profile.segments().last().expect("non-empty profile");
         out.push(MotionSegment {
             duration: remaining,
@@ -505,8 +507,8 @@ impl FleetScenario {
     ) -> Result<FleetScenario, ScenarioError> {
         spec.validate_with(registry)?;
         let env = spec.environment.resolve();
-        let policy = spec.policy().expect("validated above");
-        let contention = spec.contention().expect("validated above");
+        let policy = spec.policy().expect("validated above"); // detlint::allow(PANIC001): validate_with succeeded two lines up
+        let contention = spec.contention().expect("validated above"); // detlint::allow(PANIC001): validate_with succeeded above
         let arbiter_params = ContentionParams {
             slot: spec.medium.slot,
             difs: spec.medium.difs,
@@ -516,10 +518,12 @@ impl FleetScenario {
         };
         let protocol_name = registry
             .canonical_name(&spec.protocol.name)
+            // detlint::allow(PANIC001): validate_with resolved this name above
             .expect("validated above")
             .to_string();
         let factory = registry
             .factory(&spec.protocol.name)
+            // detlint::allow(PANIC001): validate_with resolved this name above
             .expect("validated above");
 
         let root = RngStream::new(spec.seed);
@@ -971,7 +975,10 @@ impl FleetScenario {
         // client bypass the arbiter (the paper's uncontended back-to-back
         // sender), so a one-client fleet behaves like an isolated one.
         // ------------------------------------------------------------------
-        let mut epoch_shares: HashMap<(usize, u64, usize), f64> = HashMap::new();
+        // A BTreeMap (not a hash map): Phase B only point-reads it, but
+        // an ordered map keeps any future traversal deterministic by
+        // construction — the byte-identical contract `detlint` enforces.
+        let mut epoch_shares: BTreeMap<(usize, u64, usize), f64> = BTreeMap::new();
         let mut ap_busy_s = vec![0.0f64; n_aps];
         let mut ap_collision_s = vec![0.0f64; n_aps];
         let mut ap_collisions = vec![0u32; n_aps];
@@ -1196,7 +1203,7 @@ impl FleetScenario {
     fn simulate_span(
         &self,
         task: &SpanTask,
-        epoch_shares: &HashMap<(usize, u64, usize), f64>,
+        epoch_shares: &BTreeMap<(usize, u64, usize), f64>,
     ) -> SimResult {
         let &SpanTask {
             client: c,

@@ -42,9 +42,6 @@
 //! assert_eq!(phone.outgoing_hint_field().movement_hint(), Some(true));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod device;
 pub mod fleet;
 pub mod hint;

@@ -9,7 +9,7 @@
 use crate::hint::Hint;
 use hint_mac::hint_proto::HintField;
 use hint_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What we currently know about one neighbour.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -26,16 +26,21 @@ pub struct NeighborEntry {
 }
 
 /// The hint table: neighbour id → latest hints.
+///
+/// Backed by a `BTreeMap` so every traversal (`expire`'s retain sweep,
+/// `Debug` output) runs in key order: a table embedded in a
+/// deterministic engine can never leak hash-iteration order into an
+/// outcome.
 #[derive(Clone, Debug, Default)]
-pub struct NeighborHints<K: std::hash::Hash + Eq + Copy> {
-    entries: HashMap<K, NeighborEntry>,
+pub struct NeighborHints<K: Ord + Copy> {
+    entries: BTreeMap<K, NeighborEntry>,
 }
 
-impl<K: std::hash::Hash + Eq + Copy> NeighborHints<K> {
+impl<K: Ord + Copy> NeighborHints<K> {
     /// Empty table.
     pub fn new() -> Self {
         NeighborHints {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 

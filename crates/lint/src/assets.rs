@@ -1,0 +1,368 @@
+//! ASSET001: cross-artifact coverage checks.
+//!
+//! The workspace's checked-in artifacts form a web of ownership that no
+//! compiler sees: scenario specs are only meaningful if a test replays
+//! them, golden outcomes are only maintainable if an `#[ignore]` regen
+//! test can rewrite them, benchmark ids are only gated if
+//! `BENCH_baseline.json` carries them, and battery jobs are only
+//! discoverable if `EXPERIMENTS.md` documents them. Each check here
+//! walks one of those edges in both directions and reports the strand
+//! that broke.
+
+use std::path::{Path, PathBuf};
+
+use crate::{rel, rust_files_under, Diagnostic, RuleCode};
+
+/// One test source file, pre-read: `(repo-relative path, contents)`.
+type Corpus = Vec<(String, String)>;
+
+/// Run every cross-artifact check against the workspace at `root`.
+pub fn check_assets(root: &Path) -> Vec<Diagnostic> {
+    let corpus = test_corpus(root);
+    let mut diags = Vec::new();
+    check_scenarios(root, &corpus, &mut diags);
+    check_goldens(root, &corpus, &mut diags);
+    check_bench_baseline(root, &mut diags);
+    check_battery_docs(root, &mut diags);
+    diags
+}
+
+/// Every `.rs` file under `tests/` and `crates/*/tests/`, sorted.
+fn test_corpus(root: &Path) -> Corpus {
+    let mut dirs: Vec<PathBuf> = vec![root.join("tests")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for c in crates {
+            dirs.push(c.join("tests"));
+        }
+    }
+    let mut files = Vec::new();
+    for d in &dirs {
+        rust_files_under(d, &mut files);
+    }
+    files
+        .iter()
+        .filter_map(|p| {
+            std::fs::read_to_string(p)
+                .ok()
+                .map(|src| (rel(root, p), src))
+        })
+        .collect()
+}
+
+/// Sorted `*.json` filenames directly under `dir`.
+fn json_names(dir: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// A1: every spec under `scenarios/` is replayed by at least one test.
+fn check_scenarios(root: &Path, corpus: &Corpus, diags: &mut Vec<Diagnostic>) {
+    for name in json_names(&root.join("scenarios")) {
+        let referenced = corpus.iter().any(|(_, src)| src.contains(&name));
+        if !referenced {
+            diags.push(Diagnostic::new(
+                format!("scenarios/{name}"),
+                1,
+                RuleCode::Asset001,
+                "checked-in scenario spec is not referenced by any test: add a replay \
+                 test (or delete the spec) so the spec cannot silently drift from the \
+                 builder that claims to produce it"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// A2: every golden outcome is *written* by an `#[ignore]` regen test.
+///
+/// "Written" is established lexically: the golden's filename appears on
+/// or within three lines after a `fs::write(` call, in a
+/// `crates/bench/tests` file that also contains `#[ignore`. Merely
+/// reading the golden (every comparison test does) earns no ownership —
+/// an unregenerable golden is a dead end the first time an intentional
+/// change re-anchors the engine's seeded draws.
+fn check_goldens(root: &Path, corpus: &Corpus, diags: &mut Vec<Diagnostic>) {
+    for name in json_names(&root.join("crates/bench/tests/golden")) {
+        let owned = corpus.iter().any(|(path, src)| {
+            path.starts_with("crates/bench/tests/")
+                && src.contains("#[ignore")
+                && writes(src, &name)
+        });
+        if !owned {
+            diags.push(Diagnostic::new(
+                format!("crates/bench/tests/golden/{name}"),
+                1,
+                RuleCode::Asset001,
+                "golden outcome has no `#[ignore]` regeneration test that writes it: \
+                 without one, the first intentional engine change that re-anchors seeded \
+                 draws leaves this file impossible to refresh — add a regen test \
+                 (pattern: fleet_contention.rs `regenerate_checked_in_files`)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Does `src` contain `name` on, or within three lines after, a
+/// `fs::write(` call?
+fn writes(src: &str, name: &str) -> bool {
+    let mut last_write: Option<usize> = None;
+    for (idx, line) in src.lines().enumerate() {
+        if line.contains("fs::write(") {
+            last_write = Some(idx);
+        }
+        if line.contains(name) {
+            if let Some(w) = last_write {
+                if idx - w <= 3 {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The first double-quoted string literal in `s`, if any.
+fn str_literal(s: &str) -> Option<String> {
+    let start = s.find('"')? + 1;
+    let rest = &s[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                out.push(chars.next()?);
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// A3: `benches/hot_paths.rs` ids and `BENCH_baseline.json` entries
+/// cover each other.
+///
+/// Benchmarks registered through `benchmark_group("prefix")` run one
+/// function per runtime-chosen name, so the group is matched as a
+/// `prefix/` namespace rather than a literal id.
+fn check_bench_baseline(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let bench_rel = "crates/bench/benches/hot_paths.rs";
+    let baseline_rel = "BENCH_baseline.json";
+    let Ok(bench_src) = std::fs::read_to_string(root.join(bench_rel)) else {
+        return;
+    };
+    let Ok(baseline_src) = std::fs::read_to_string(root.join(baseline_rel)) else {
+        return;
+    };
+
+    // (id, line) for literal registrations; (prefix, line) for groups.
+    let mut literal_ids: Vec<(String, usize)> = Vec::new();
+    let mut prefixes: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in bench_src.lines().enumerate() {
+        if let Some(pos) = line.find("bench_function(") {
+            if let Some(id) = str_literal(&line[pos..]) {
+                literal_ids.push((id, idx + 1));
+            }
+        }
+        if let Some(pos) = line.find("benchmark_group(") {
+            if let Some(p) = str_literal(&line[pos..]) {
+                prefixes.push((p, idx + 1));
+            }
+        }
+    }
+    let mut baseline_ids: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in baseline_src.lines().enumerate() {
+        // Entries are one-per-line: `"id": "..."` (any spacing).
+        if let Some(pos) = line.find("\"id\"") {
+            let after = &line[pos + 4..];
+            if let Some(colon) = after.find(':') {
+                if let Some(id) = str_literal(&after[colon..]) {
+                    baseline_ids.push((id, idx + 1));
+                }
+            }
+        }
+    }
+
+    for (id, line) in &literal_ids {
+        if !baseline_ids.iter().any(|(b, _)| b == id) {
+            diags.push(Diagnostic::new(
+                bench_rel,
+                *line,
+                RuleCode::Asset001,
+                format!(
+                    "hot-path benchmark `{id}` has no entry in {baseline_rel}: the perf \
+                     gate cannot see it — run the bench and record a baseline entry"
+                ),
+            ));
+        }
+    }
+    for (prefix, line) in &prefixes {
+        if !baseline_ids
+            .iter()
+            .any(|(b, _)| covered_by_prefix(b, prefix))
+        {
+            diags.push(Diagnostic::new(
+                bench_rel,
+                *line,
+                RuleCode::Asset001,
+                format!(
+                    "benchmark group `{prefix}` has no entries in {baseline_rel}: the perf \
+                     gate cannot see it — run the bench and record baseline entries"
+                ),
+            ));
+        }
+    }
+    for (id, line) in &baseline_ids {
+        let live = literal_ids.iter().any(|(l, _)| l == id)
+            || prefixes.iter().any(|(p, _)| covered_by_prefix(id, p));
+        if !live {
+            diags.push(Diagnostic::new(
+                baseline_rel,
+                *line,
+                RuleCode::Asset001,
+                format!(
+                    "baseline entry `{id}` matches no benchmark in {bench_rel}: the gate \
+                     would silently stop covering it — delete the stale entry or restore \
+                     the benchmark"
+                ),
+            ));
+        }
+    }
+}
+
+/// Does baseline id `id` live in group `prefix`?
+fn covered_by_prefix(id: &str, prefix: &str) -> bool {
+    id.strip_prefix(prefix)
+        .is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// A4: every battery job name (`Job::new("name", …)` in the runner) is
+/// documented in `EXPERIMENTS.md`, where a backticked `` `name` `` or
+/// glob row (`` `ablation_*` ``) claims it.
+fn check_battery_docs(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let runner_rel = "crates/bench/src/runner.rs";
+    let Ok(runner_src) = std::fs::read_to_string(root.join(runner_rel)) else {
+        return;
+    };
+    let Ok(docs) = std::fs::read_to_string(root.join("EXPERIMENTS.md")) else {
+        return;
+    };
+    let tokens = backticked(&docs);
+
+    let lines: Vec<&str> = runner_src.lines().collect();
+    let mut seen: Vec<String> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        // Same convention as the scan pass: the `#[cfg(test)]` module
+        // closes the file, and its throwaway jobs need no documentation.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let Some(pos) = line.find("Job::new(") else {
+            continue;
+        };
+        // The name is the first string literal at the call, possibly on
+        // the next line (rustfmt breaks the argument list).
+        let name =
+            str_literal(&line[pos..]).or_else(|| lines.get(idx + 1).and_then(|l| str_literal(l)));
+        let Some(name) = name else { continue };
+        if seen.contains(&name) {
+            continue; // smoke battery repeats full-battery names
+        }
+        seen.push(name.clone());
+        let documented = tokens.iter().any(|t| {
+            t == &name
+                || t.strip_suffix('*')
+                    .is_some_and(|stem| name.starts_with(stem))
+        });
+        if !documented {
+            diags.push(Diagnostic::new(
+                runner_rel,
+                idx + 1,
+                RuleCode::Asset001,
+                format!(
+                    "battery job `{name}` is not documented in EXPERIMENTS.md: add a row \
+                     (the index is the battery's only discoverable catalogue — \
+                     `run_all --filter` selects by these names)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Every `` `token` `` in a markdown document.
+fn backticked(doc: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let mut rest = line;
+        while let Some(start) = rest.find('`') {
+            let after = &rest[start + 1..];
+            let Some(end) = after.find('`') else { break };
+            if end > 0 {
+                out.push(after[..end].to_string());
+            }
+            rest = &after[end + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_literal_extraction() {
+        assert_eq!(
+            str_literal(r#"bench_function("a/b (c)", |x| {"#).as_deref(),
+            Some("a/b (c)")
+        );
+        assert_eq!(str_literal("no literal here"), None);
+        assert_eq!(
+            str_literal(r#""esc \" aped""#).as_deref(),
+            Some("esc \" aped")
+        );
+    }
+
+    #[test]
+    fn prefix_coverage_requires_separator() {
+        assert!(covered_by_prefix(
+            "protocols/pick+report/RRAA",
+            "protocols/pick+report"
+        ));
+        assert!(!covered_by_prefix(
+            "protocols/pick+reporting",
+            "protocols/pick+report"
+        ));
+        assert!(!covered_by_prefix(
+            "protocols/pick+report",
+            "protocols/pick+report"
+        ));
+    }
+
+    #[test]
+    fn backtick_tokens_and_globs() {
+        let tokens = backticked("| `fig_2_2` | x |\n| `ablation_*` | y |\n");
+        assert_eq!(tokens, vec!["fig_2_2", "ablation_*"]);
+    }
+
+    #[test]
+    fn writes_matches_multiline_fs_write() {
+        let src = "std::fs::write(\n    repo_path(\"golden/a.json\"),\n    out,\n)\n";
+        assert!(writes(src, "a.json"));
+        assert!(!writes("let x = read(\"a.json\");\n", "a.json"));
+    }
+}

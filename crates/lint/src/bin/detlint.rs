@@ -1,0 +1,92 @@
+//! `detlint` — lint the workspace for determinism & invariant violations.
+//!
+//! ```text
+//! detlint [--workspace] [--root DIR] [--json]
+//! ```
+//!
+//! * `--workspace` — lint every configured source tree (the default; the
+//!   flag exists so invocations read as what they do).
+//! * `--root DIR` — workspace root to lint (default: auto-detected from
+//!   the current directory by walking up to the first `Cargo.toml` with
+//!   a `[workspace]` table).
+//! * `--json` — emit the diagnostics as a JSON array instead of
+//!   rustc-style lines.
+//!
+//! Exit status: 0 when clean, 1 when any diagnostic fired, 2 on usage or
+//! I/O errors. Output is byte-deterministic for a given tree (CI runs it
+//! twice and `cmp`s).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hint_lint::{lint_workspace, render_json, Config};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: detlint [--workspace] [--root DIR] [--json]");
+    ExitCode::from(2)
+}
+
+/// Walk up from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => {} // the only mode there is
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(find_root)) {
+        Some(r) => r,
+        None => {
+            eprintln!("detlint: no workspace root found (try --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = lint_workspace(&root, &Config::workspace());
+    if json {
+        print!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        if diags.is_empty() {
+            eprintln!("detlint: clean");
+        } else {
+            eprintln!(
+                "detlint: {} diagnostic{} — see crates/lint/src/lib.rs for the rule table \
+                 and the `detlint::allow(CODE): reason` escape hatch",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,148 @@
+//! Rule scoping: which parts of the tree each rule applies to.
+//!
+//! The scopes are repo-specific by design — `detlint` is this
+//! workspace's linter, not a general tool — and live here as one
+//! reviewable table rather than scattered through the rules.
+
+/// Scope configuration for one lint run. Paths are repo-relative with
+/// forward slashes; a "prefix" matches the path itself or any path
+/// under it.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Path prefixes whose code must be hash-order-free (DET001):
+    /// everything a deterministic outcome or battery byte flows
+    /// through.
+    pub det001_scope: Vec<String>,
+    /// Files exempt from the wall-clock rule (DET002): the bench
+    /// runner's wall-clock diagnostics go to stderr, never into pinned
+    /// output.
+    pub det002_allow: Vec<String>,
+    /// Path prefixes whose RNG must come from the seed-derivation tree
+    /// (DET003).
+    pub det003_scope: Vec<String>,
+    /// Files exempt from DET003: the derivation tree's own
+    /// implementation (`sim::rng`) is where direct `rand` use lives.
+    pub det003_exempt: Vec<String>,
+    /// Path prefixes that are spec-reachable (PANIC001): a malformed
+    /// user spec must surface as `ScenarioError`, never a panic, so
+    /// every `unwrap`/`expect` here needs a written invariant.
+    pub panic001_scope: Vec<String>,
+    /// Path prefixes skipped entirely (the linter itself: its rule
+    /// tables spell out the very tokens it hunts).
+    pub skip: Vec<String>,
+    /// Run the cross-artifact ASSET001 checks (workspace mode; off for
+    /// single-source scans in tests).
+    pub check_assets: bool,
+}
+
+fn strings(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+impl Config {
+    /// The shipped workspace policy.
+    ///
+    /// * DET001 covers the nine engine crates **plus** `hint-bench` and
+    ///   the root binaries: battery stdout is `cmp`-pinned across
+    ///   `--jobs`, so report-path iteration order is as load-bearing as
+    ///   engine state.
+    /// * DET002 covers the same tree minus the two runner files that
+    ///   legitimately time jobs (their output is stderr-only).
+    /// * DET003 covers the engine crates; `hint-bench` defines
+    ///   experiments, whose literal seeds are spec inputs (the same role
+    ///   as the `seed` field of a scenario JSON), not engine RNG.
+    /// * PANIC001 covers the spec-reachable surface: the scenario/fleet
+    ///   spec layer, the fleet engine, and the `scenario_run` CLI.
+    pub fn workspace() -> Config {
+        let engine = [
+            "crates/sim/src",
+            "crates/core/src",
+            "crates/sensors/src",
+            "crates/channel/src",
+            "crates/mac/src",
+            "crates/rateadapt/src",
+            "crates/topology/src",
+            "crates/vehicular/src",
+            "crates/ap/src",
+        ];
+        let mut det001: Vec<&str> = engine.to_vec();
+        det001.extend(["crates/bench/src", "src"]);
+        Config {
+            det001_scope: strings(&det001),
+            det002_allow: strings(&[
+                "crates/bench/src/runner.rs",
+                "crates/bench/src/bin/run_all.rs",
+            ]),
+            det003_scope: strings(&engine),
+            det003_exempt: strings(&["crates/sim/src/rng.rs"]),
+            panic001_scope: strings(&[
+                "crates/rateadapt/src",
+                "crates/core/src/fleet.rs",
+                "src/bin/scenario_run.rs",
+            ]),
+            skip: strings(&["crates/lint"]),
+            check_assets: true,
+        }
+    }
+
+    /// Does `path` fall under any prefix in `scopes`?
+    fn in_scope(path: &str, scopes: &[String]) -> bool {
+        scopes
+            .iter()
+            .any(|p| path == p || path.starts_with(&format!("{p}/")))
+    }
+
+    /// Is `path` excluded from the walk entirely?
+    pub fn is_skipped(&self, path: &str) -> bool {
+        Self::in_scope(path, &self.skip)
+    }
+
+    /// Does DET001 apply to `path`?
+    pub fn det001_applies(&self, path: &str) -> bool {
+        Self::in_scope(path, &self.det001_scope)
+    }
+
+    /// Does DET002 apply to `path`? (Scope: everything scanned, minus
+    /// the allowlist.)
+    pub fn det002_applies(&self, path: &str) -> bool {
+        !self.det002_allow.iter().any(|p| p == path)
+    }
+
+    /// Does DET003 apply to `path`?
+    pub fn det003_applies(&self, path: &str) -> bool {
+        Self::in_scope(path, &self.det003_scope) && !self.det003_exempt.iter().any(|p| p == path)
+    }
+
+    /// Does PANIC001 apply to `path`?
+    pub fn panic001_applies(&self, path: &str) -> bool {
+        Self::in_scope(path, &self.panic001_scope)
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::workspace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_rules() {
+        let c = Config::workspace();
+        assert!(c.det001_applies("crates/core/src/fleet.rs"));
+        assert!(c.det001_applies("crates/bench/src/report.rs"));
+        assert!(!c.det001_applies("crates/bench/tests/x.rs"));
+        assert!(!c.det002_applies("crates/bench/src/runner.rs"));
+        assert!(c.det002_applies("crates/core/src/fleet.rs"));
+        assert!(c.det003_applies("crates/sim/src/events.rs"));
+        assert!(!c.det003_applies("crates/sim/src/rng.rs"));
+        assert!(!c.det003_applies("crates/bench/src/fig_2_2.rs"));
+        assert!(c.panic001_applies("crates/rateadapt/src/scenario.rs"));
+        assert!(c.panic001_applies("src/bin/scenario_run.rs"));
+        assert!(!c.panic001_applies("src/bin/hints-trace.rs"));
+        assert!(c.is_skipped("crates/lint/src/lib.rs"));
+    }
+}

@@ -1,0 +1,439 @@
+//! The per-file scanning pass: line/token rules DET001–003 and
+//! PANIC001, plus `detlint::allow` directive handling (ALLOW001).
+//!
+//! The pass is lexical, with three structural conventions doing the work
+//! a parser otherwise would (all three hold workspace-wide and are
+//! cheap to keep holding):
+//!
+//! 1. `#[cfg(test)]` modules close their file — scanning stops at the
+//!    first one, so test code may use literal seeds, `unwrap()`, and
+//!    hash maps freely.
+//! 2. Doc-comment lines (`///`, `//!`) are prose, not code.
+//! 3. String literals stay on one line (comment stripping tracks
+//!    double-quote parity per line).
+
+use crate::{Config, Diagnostic, RuleCode};
+
+/// Scan one source file. `path` is the repo-relative location used both
+/// for rule scoping and in the emitted diagnostics; it does not need to
+/// exist on disk (the fixture corpus lints fake paths).
+pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let det001 = cfg.det001_applies(path);
+    let det002 = cfg.det002_applies(path);
+    let det003 = cfg.det003_applies(path);
+    let panic001 = cfg.panic001_applies(path);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    // Identifiers bound to an unordered collection anywhere in the file
+    // so far: iteration over them is flagged even when the binding
+    // itself carried an allow (the binding may be justified as
+    // lookup-only; iterating it later is a fresh hazard).
+    let mut unordered_bindings: Vec<String> = Vec::new();
+    // Allows declared on standalone comment lines, waiting for the next
+    // code line.
+    let mut pending_allows: Vec<RuleCode> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+        // Doc comments are prose; they neither fire rules nor carry
+        // directives, and they do not break a pending allow chain.
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        // Test modules close the file by convention.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        let (code, comment) = split_comment(raw);
+        let mut line_allows: Vec<RuleCode> = Vec::new();
+        if let Some(comment) = comment {
+            match parse_allow(comment) {
+                AllowParse::None => {}
+                AllowParse::Allow(rule) => line_allows.push(rule),
+                AllowParse::Malformed(why) => {
+                    diags.push(Diagnostic::new(path, line_no, RuleCode::Allow001, why));
+                }
+            }
+        }
+        let code_trim = code.trim();
+        if code_trim.is_empty() {
+            // Blank or comment-only line: directives accumulate toward
+            // the next code line.
+            pending_allows.extend(line_allows);
+            continue;
+        }
+        let mut allows = std::mem::take(&mut pending_allows);
+        allows.extend(line_allows);
+
+        let mut fire = |code: RuleCode, message: String, allows: &[RuleCode]| {
+            if !allows.contains(&code) {
+                diags.push(Diagnostic::new(path, line_no, code, message));
+            }
+        };
+
+        if det001 {
+            for coll in ["HashMap", "HashSet"] {
+                if !has_token(code, coll) {
+                    continue;
+                }
+                if let Some(name) = binding_name(code, coll) {
+                    if !unordered_bindings.contains(&name) {
+                        unordered_bindings.push(name);
+                    }
+                }
+                // `use` lines only import the name; the binding site is
+                // where a justification belongs.
+                if !code_trim.starts_with("use ") {
+                    fire(
+                        RuleCode::Det001,
+                        format!(
+                            "unordered collection `{coll}` bound in deterministic engine code: \
+                             hash iteration order can leak into outcomes — use an ordered \
+                             (BTree) collection, or justify with `// detlint::allow(DET001): \
+                             <reason>`"
+                        ),
+                        &allows,
+                    );
+                }
+            }
+            for name in &unordered_bindings {
+                if iterates(code, name) {
+                    fire(
+                        RuleCode::Det001,
+                        format!(
+                            "iteration over unordered collection `{name}`: hash order is not \
+                             deterministic — collect and sort the keys first, or justify with \
+                             `// detlint::allow(DET001): <reason>`"
+                        ),
+                        &allows,
+                    );
+                }
+            }
+        }
+
+        if det002 {
+            for pat in ["Instant::now", "SystemTime"] {
+                if has_token(code, pat) {
+                    fire(
+                        RuleCode::Det002,
+                        format!(
+                            "wall-clock read (`{pat}`) in deterministic code: real time must \
+                             never influence a simulation — only the bench runner's \
+                             stderr-side timing is exempt"
+                        ),
+                        &allows,
+                    );
+                }
+            }
+        }
+
+        if det003 {
+            for pat in [
+                "thread_rng",
+                "from_entropy",
+                "seed_from_u64",
+                "StdRng",
+                "SmallRng",
+            ] {
+                if has_token(code, pat) {
+                    fire(
+                        RuleCode::Det003,
+                        format!(
+                            "`{pat}` bypasses the fleet-seed derivation tree: derive every \
+                             stream from the spec seed via `RngStream::derive`"
+                        ),
+                        &allows,
+                    );
+                }
+            }
+            if has_token(code, "rand") {
+                fire(
+                    RuleCode::Det003,
+                    "direct `rand` use outside `sim::rng`: engine code draws from \
+                     `RngStream`, whose derivation tree pins every stream to the spec seed"
+                        .to_string(),
+                    &allows,
+                );
+            }
+            if raw_literal_seed(code) {
+                fire(
+                    RuleCode::Det003,
+                    "raw literal seed in `RngStream::new(...)`: engine streams derive from \
+                     the spec seed (`RngStream::new(spec.seed).derive(...)`) so experiments \
+                     stay replayable from their spec alone"
+                        .to_string(),
+                    &allows,
+                );
+            }
+        }
+
+        if panic001 && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            fire(
+                RuleCode::Panic001,
+                "unwrap()/expect() in a spec-reachable module: a malformed spec must \
+                 surface as an error, not a panic — return a ScenarioError, or state the \
+                 invariant with `// detlint::allow(PANIC001): <reason>`"
+                    .to_string(),
+                &allows,
+            );
+        }
+    }
+    diags
+}
+
+/// Split a line at the first `//` that sits outside a double-quoted
+/// string. Returns `(code, Some(comment-after-slashes))`.
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1, // skip the escaped byte
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], Some(&line[i + 2..]));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, None)
+}
+
+/// Result of looking for an allow directive in one comment.
+enum AllowParse {
+    /// No directive present.
+    None,
+    /// A well-formed `detlint::allow(CODE): reason`.
+    Allow(RuleCode),
+    /// A directive that is present but unusable (the message says why).
+    Malformed(String),
+}
+
+/// Parse `detlint::allow(CODE): reason` out of a comment body.
+fn parse_allow(comment: &str) -> AllowParse {
+    const MARKER: &str = "detlint::allow";
+    let Some(pos) = comment.find(MARKER) else {
+        return AllowParse::None;
+    };
+    let rest = &comment[pos + MARKER.len()..];
+    let Some(rest) = rest.trim_start().strip_prefix('(') else {
+        return AllowParse::Malformed(
+            "malformed allow directive: expected `detlint::allow(CODE): reason`".to_string(),
+        );
+    };
+    let Some(close) = rest.find(')') else {
+        return AllowParse::Malformed(
+            "malformed allow directive: missing `)` after the rule code".to_string(),
+        );
+    };
+    let name = rest[..close].trim();
+    let Some(rule) = RuleCode::from_allow_name(name) else {
+        return AllowParse::Malformed(format!(
+            "allow directive names unknown rule `{name}` (known: DET001, DET002, DET003, \
+             PANIC001, ASSET001)"
+        ));
+    };
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return AllowParse::Malformed(format!(
+            "allow directive for {} has no reason: write `detlint::allow({}): <why this is \
+             sound>` — reason-less allows are not accepted",
+            rule, rule
+        ));
+    }
+    AllowParse::Allow(rule)
+}
+
+/// Is `needle` present in `haystack` delimited by non-identifier
+/// characters on both sides? (So `rand` matches `use rand;` and
+/// `rand::Rng` but not `operand` or `RngStream`.)
+fn has_token(haystack: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !haystack[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= haystack.len()
+            || !haystack[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// The identifier a `coll` (e.g. `HashMap`) is being bound to on this
+/// line, if the line is a binding: `name: HashMap<..>` (field or typed
+/// let) or `let [mut] name = HashMap::new()`.
+fn binding_name(code: &str, coll: &str) -> Option<String> {
+    let pos = code.find(coll)?;
+    let before = code[..pos].trim_end();
+    // `name: HashMap<...>` — typed field / let / parameter. Strip one
+    // trailing `:` (not `::`, which would be a path qualifier).
+    if let Some(stripped) = before.strip_suffix(':') {
+        if !stripped.ends_with(':') {
+            let name = trailing_ident(stripped);
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    // `let [mut] name = HashMap::new()` / `name = HashMap::new()`.
+    if let Some(stripped) = before.strip_suffix('=') {
+        let name = trailing_ident(stripped.trim_end());
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// The identifier ending `s`, if any ("foo.bar" → "bar").
+fn trailing_ident(s: &str) -> String {
+    s.chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+/// Does this line iterate `name`? Method-style (`name.iter()`, …) or a
+/// `for … in` that mentions it.
+fn iterates(code: &str, name: &str) -> bool {
+    const ITER_METHODS: [&str; 8] = [
+        ".iter()",
+        ".iter_mut()",
+        ".into_iter()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+        ".retain(",
+    ];
+    if !has_token(code, name) {
+        return false;
+    }
+    for m in ITER_METHODS {
+        // `name.iter()` or `self.name.iter()` — the token check above
+        // already anchored the identifier; here we require the method to
+        // be called *on* it.
+        if code.contains(&format!("{name}{m}")) {
+            return true;
+        }
+    }
+    let trimmed = code.trim_start();
+    (trimmed.starts_with("for ") || trimmed.contains(" for ")) && code.contains(" in ")
+}
+
+/// `RngStream::new(<integer literal>)` — a seed that is not derived
+/// from any spec.
+fn raw_literal_seed(code: &str) -> bool {
+    let mut start = 0;
+    const CALL: &str = "RngStream::new(";
+    while let Some(pos) = code[start..].find(CALL) {
+        let after = &code[start + pos + CALL.len()..];
+        if after.trim_start().starts_with(|c: char| c.is_ascii_digit()) {
+            return true;
+        }
+        start += pos + CALL.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_cfg() -> Config {
+        Config {
+            check_assets: false,
+            ..Config::workspace()
+        }
+    }
+
+    fn codes(path: &str, src: &str) -> Vec<&'static str> {
+        scan_source(path, src, &engine_cfg())
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn det001_binding_and_iteration() {
+        let src = "struct S { m: HashMap<u32, u32> }\nfn f(s: &S) { for k in s.m.keys() {} }\n";
+        let c = codes("crates/core/src/x.rs", src);
+        assert_eq!(c, vec!["DET001", "DET001"]);
+    }
+
+    #[test]
+    fn det001_skips_use_lines_and_out_of_scope() {
+        assert!(codes("crates/core/src/x.rs", "use std::collections::HashMap;\n").is_empty());
+        assert!(codes(
+            "crates/bench/tests/x.rs",
+            "let m: HashMap<u8, u8> = HashMap::new();\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn det002_and_det003_fire_in_scope() {
+        assert_eq!(
+            codes("crates/mac/src/x.rs", "let t = Instant::now();\n"),
+            vec!["DET002"]
+        );
+        assert_eq!(
+            codes("crates/mac/src/x.rs", "let r = RngStream::new(42);\n"),
+            vec!["DET003"]
+        );
+        assert!(codes(
+            "crates/mac/src/x.rs",
+            "let r = RngStream::new(spec.seed);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn doc_lines_and_test_modules_are_skipped() {
+        let src = "/// let r = RngStream::new(42);\n#[cfg(test)]\nmod tests {\n    fn f() { \
+                   let t = Instant::now(); }\n}\n";
+        assert!(codes("crates/mac/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let same = "let t = Instant::now(); // detlint::allow(DET002): fixture\n";
+        assert!(codes("crates/mac/src/x.rs", same).is_empty());
+        let next = "// detlint::allow(DET002): spans\n// two comment lines\nlet t = \
+                    Instant::now();\n";
+        assert!(codes("crates/mac/src/x.rs", next).is_empty());
+    }
+
+    #[test]
+    fn reasonless_allow_is_rejected_and_does_not_suppress() {
+        let src = "let t = Instant::now(); // detlint::allow(DET002)\n";
+        let mut c = codes("crates/mac/src/x.rs", src);
+        c.sort_unstable();
+        assert_eq!(c, vec!["ALLOW001", "DET002"]);
+    }
+
+    #[test]
+    fn string_literals_do_not_hide_comments() {
+        let (code, comment) = split_comment(r#"let s = "https://x"; // detlint::allow(DET002): y"#);
+        assert!(code.contains("https://x"));
+        assert!(comment.unwrap().contains("detlint::allow"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture benchmark file: every id and group is pinned by the baseline.
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("cov/pinned", |b| b.iter(|| 1));
+    let mut group = c.benchmark_group("grp");
+    group.bench_function(name, |b| b.iter(|| 3));
+}

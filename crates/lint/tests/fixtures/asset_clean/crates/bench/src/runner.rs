@@ -1,0 +1,6 @@
+//! Fixture battery runner: every job is documented.
+
+pub fn full_battery() {
+    Job::new("documented_job", "a documented fixture job", 0);
+    Job::new("ablation_fixture_sweep", "covered by the glob row", 0);
+}

@@ -1,0 +1,19 @@
+//! Fixture test file: every checked-in artifact is replayed and
+//! regen-owned.
+
+#[test]
+fn replays_spec() {
+    let _spec = "scenarios/replayed_spec.json";
+    let _golden =
+        std::fs::read_to_string("crates/bench/tests/golden/regen_outcome.json").unwrap();
+}
+
+#[test]
+#[ignore = "writes the checked-in golden"]
+fn regenerate_checked_in_files() {
+    std::fs::write(
+        "crates/bench/tests/golden/regen_outcome.json",
+        "{}\n",
+    )
+    .unwrap();
+}

@@ -1,0 +1,8 @@
+//! Fixture benchmark file: one pinned id, one unpinned id, one group.
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("cov/pinned", |b| b.iter(|| 1));
+    c.bench_function("cov/unpinned", |b| b.iter(|| 2));
+    let mut group = c.benchmark_group("grp");
+    group.bench_function(name, |b| b.iter(|| 3));
+}

@@ -1,0 +1,18 @@
+//! Fixture battery runner: one documented job, one undocumented, and a
+//! test-module job the check must ignore.
+
+pub fn full_battery() {
+    Job::new("documented_job", "a documented fixture job", 0);
+    Job::new(
+        "undocumented_job",
+        "a fixture job EXPERIMENTS.md does not mention",
+        0,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    fn throwaway() {
+        Job::new("test_only_job", "never documented, never flagged", 0);
+    }
+}

@@ -25,9 +25,6 @@
 //!   cyclic-prefix selection from the GPS-lock hint and frame-size capping
 //!   from the speed hint.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod contention;
 pub mod frames;
 pub mod hint_proto;

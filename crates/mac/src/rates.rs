@@ -11,15 +11,22 @@ use std::fmt;
 
 /// One of the eight 802.11a OFDM bit rates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[allow(missing_docs)]
 pub enum BitRate {
+    /// 6 Mbit/s — BPSK, rate-1/2 coding (the mandatory base rate).
     R6,
+    /// 9 Mbit/s — BPSK, rate-3/4 coding.
     R9,
+    /// 12 Mbit/s — QPSK, rate-1/2 coding.
     R12,
+    /// 18 Mbit/s — QPSK, rate-3/4 coding.
     R18,
+    /// 24 Mbit/s — 16-QAM, rate-1/2 coding.
     R24,
+    /// 36 Mbit/s — 16-QAM, rate-3/4 coding.
     R36,
+    /// 48 Mbit/s — 64-QAM, rate-2/3 coding.
     R48,
+    /// 54 Mbit/s — 64-QAM, rate-3/4 coding (the top rate).
     R54,
 }
 

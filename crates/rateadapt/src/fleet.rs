@@ -977,12 +977,14 @@ impl FleetSpec {
 
     /// Serialize to compact JSON.
     pub fn to_json(&self) -> String {
+        // detlint::allow(PANIC001): serializing an owned spec is infallible
         serde_json::to_string(self).expect("spec serialization cannot fail")
     }
 
     /// Serialize to pretty-printed JSON (the checked-in spec-file
     /// format).
     pub fn to_json_pretty(&self) -> String {
+        // detlint::allow(PANIC001): serializing an owned spec is infallible
         serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
     }
 
@@ -1396,6 +1398,7 @@ impl FleetOutcome {
     /// Serialize to pretty JSON (the `scenario_run --json` format and
     /// the golden-outcome pinning format).
     pub fn to_json_pretty(&self) -> String {
+        // detlint::allow(PANIC001): serializing an owned outcome is infallible
         serde_json::to_string_pretty(self).expect("outcome serialization cannot fail")
     }
 

@@ -24,9 +24,6 @@
 //! multi-trace evaluation harness in [`evaluate`] and the Fig. 3-5..3-8
 //! experiment binaries in the `hint-bench` crate are built on it.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod evaluate;
 pub mod fleet;
 pub mod hintstream;

@@ -181,6 +181,7 @@ impl MotionSpec {
                 if matches!(self, MotionSpec::Custom(segments) if segments.is_empty()) {
                     return bad("custom motion needs at least one segment".into());
                 }
+                // detlint::allow(PANIC001): the match arm above returns for every non-self-sizing variant
                 let sum = self.implied_duration().expect("self-sizing variant");
                 if sum != duration {
                     return bad(format!(
@@ -369,10 +370,12 @@ impl ScenarioSpec {
         let profile = self.motion.profile(self.duration);
         let protocol_name = registry
             .canonical_name(&self.protocol.name)
+            // detlint::allow(PANIC001): validate_with resolved this name above
             .expect("validated above")
             .to_string();
         let factory = registry
             .factory(&self.protocol.name)
+            // detlint::allow(PANIC001): validate_with resolved this name above
             .expect("validated above");
         let trace = Trace::generate(&environment, &profile, self.duration, self.seed);
         let mut sim = LinkSimulator::from_trace(trace).with_payload(self.payload_bytes);
@@ -422,11 +425,13 @@ impl ScenarioSpec {
 
     /// Serialize to compact JSON.
     pub fn to_json(&self) -> String {
+        // detlint::allow(PANIC001): serializing an owned spec is infallible
         serde_json::to_string(self).expect("spec serialization cannot fail")
     }
 
     /// Serialize to pretty-printed JSON (the checked-in spec-file format).
     pub fn to_json_pretty(&self) -> String {
+        // detlint::allow(PANIC001): serializing an owned spec is infallible
         serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
     }
 
@@ -757,6 +762,7 @@ impl ScenarioOutcome {
 
     /// Serialize to pretty JSON (the `scenario_run --json` format).
     pub fn to_json_pretty(&self) -> String {
+        // detlint::allow(PANIC001): serializing an owned outcome is infallible
         serde_json::to_string_pretty(self).expect("outcome serialization cannot fail")
     }
 }

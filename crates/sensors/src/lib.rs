@@ -23,9 +23,6 @@
 //! Downstream crates consume hints either directly (local protocols) or via
 //! the over-the-air hint protocol in `hint-mac`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod accelerometer;
 pub mod compass;
 pub mod fusion;

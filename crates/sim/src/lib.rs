@@ -20,9 +20,6 @@
 //! the paper's methodology is trace-driven simulation, where determinism and
 //! replayability matter far more than wall-clock parallelism.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod events;
 pub mod rng;
 pub mod series;

@@ -23,9 +23,6 @@
 //!   instead of every AP in the deployment (exact-equivalent to the
 //!   brute-force scan, property-tested).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adaptive;
 pub mod delivery;
 pub mod etx;

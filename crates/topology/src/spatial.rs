@@ -70,6 +70,9 @@ pub struct DiskIndex {
     cell_m: f64,
     /// Cell coordinates → ids of disks whose bounding square overlaps
     /// the cell, ascending (insertion follows id order).
+    // detlint::allow(DET001): never iterated — queries are single-cell
+    // point lookups (`get`) and each cell's id list ascends by build
+    // order, so hash order cannot reach any output
     cells: HashMap<(i64, i64), Vec<usize>>,
 }
 
@@ -89,6 +92,8 @@ impl DiskIndex {
             .filter(|r| r.is_finite() && *r > 0.0)
             .fold(0.0_f64, f64::max);
         let cell_m = if max_r > 0.0 { max_r } else { 1.0 };
+        // detlint::allow(DET001): built in ascending id order and only
+        // ever point-queried; see the field's justification above
         let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (id, d) in disks.iter().enumerate() {
             if !(d.x.is_finite() && d.y.is_finite() && d.r.is_finite() && d.r > 0.0) {

@@ -19,9 +19,6 @@
 //! inverse). Route construction and the stability comparison live in
 //! [`routing`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod links;
 pub mod mobility;
 pub mod roads;

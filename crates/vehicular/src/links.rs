@@ -9,7 +9,7 @@
 
 use crate::mobility::VehicleState;
 use hint_sim::median;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Link formation range, metres (the paper's 100 m).
 pub const LINK_RANGE_M: f64 = 100.0;
@@ -43,7 +43,10 @@ fn heading_difference(a: f64, b: f64) -> f64 {
 #[derive(Debug, Default)]
 pub struct LinkTracker {
     /// Links currently up: (a, b) → (start second, initial heading diff).
-    active: HashMap<(usize, usize), (usize, f64)>,
+    /// Ordered map, not a hash map: [`LinkTracker::finish`] iterates it
+    /// to close out still-active links, and hash order would leak into
+    /// the record order (a nondeterminism `detlint` DET001 now rejects).
+    active: BTreeMap<(usize, usize), (usize, f64)>,
     /// Completed links.
     records: Vec<LinkRecord>,
 }
@@ -84,6 +87,8 @@ impl LinkTracker {
     }
 
     /// Close out links still active at trace end (`t_end` seconds).
+    /// Trailing records append in ascending `(a, b)` order — the map is
+    /// ordered, so the returned vector is identical run to run.
     pub fn finish(mut self, t_end: usize) -> Vec<LinkRecord> {
         for (&(a, b), &(start, diff)) in &self.active {
             self.records.push(LinkRecord {

@@ -14,9 +14,6 @@
 //! results as a JSON array — `BENCH_baseline.json` at the repo root is
 //! generated this way (see README.md).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

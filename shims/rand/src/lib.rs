@@ -12,9 +12,6 @@
 //! (by editing `[workspace.dependencies]`) changes the exact draw values of
 //! `gen_range` but no public API.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::fmt;
 
 /// Error type for RNG operations. The generators in this workspace are

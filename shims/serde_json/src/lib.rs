@@ -7,9 +7,6 @@
 //! serde_json for the types this workspace serializes (attribute-free
 //! structs and enums over integers, floats, bools, strings, vectors).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::fmt;
 
 pub use serde::Value;
