@@ -89,7 +89,7 @@ fn bench_link_sim(c: &mut Criterion) {
             black_box(
                 LinkSimulator::new(&trace)
                     .with_hints(&hints)
-                    .run(&mut a, Workload::Udp),
+                    .run(&mut a, &Workload::Udp),
             )
         });
     });
@@ -100,7 +100,31 @@ fn bench_link_sim(c: &mut Criterion) {
             black_box(
                 LinkSimulator::new(&trace)
                     .with_hints(&hints)
-                    .run(&mut a, Workload::tcp()),
+                    .run(&mut a, &Workload::tcp()),
+            )
+        });
+    });
+
+    // Replay a recorded packet schedule over the same 10 s channel: the
+    // trace-workload hot path — per-record scheduling, per-size airtime —
+    // at the same scale as the UDP/TCP entries above. The recording is
+    // produced in-process (UDP run under RapidSample) so the bench needs
+    // no fixture files.
+    let recorded = {
+        let mut a = RapidSample::new();
+        LinkSimulator::new(&trace)
+            .with_hints(&hints)
+            .run_recording(&mut a, &Workload::Udp)
+            .1
+    };
+    let replay = Workload::trace(recorded);
+    c.bench_function("trace/replay_10s", |b| {
+        b.iter(|| {
+            let mut a = HintAware::new();
+            black_box(
+                LinkSimulator::new(&trace)
+                    .with_hints(&hints)
+                    .run(&mut a, &replay),
             )
         });
     });

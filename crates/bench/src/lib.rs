@@ -32,4 +32,5 @@ pub mod resilience;
 pub mod route_stability;
 pub mod runner;
 pub mod table_5_1;
+pub mod trace_replay;
 pub mod util;

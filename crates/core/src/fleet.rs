@@ -68,11 +68,12 @@ use hint_rateadapt::fleet::{
 };
 use hint_rateadapt::protocols::registry::{AdapterFactory, ProtocolRegistry};
 use hint_rateadapt::scenario::{HintSpec, ScenarioError, ScenarioOutcome, HINT_SEED_MASK};
-use hint_rateadapt::{HintStream, LinkSimulator, SimResult};
+use hint_rateadapt::{HintStream, LinkSimulator, SimResult, TraceSource, Workload};
 use hint_sensors::gps::Position;
 use hint_sensors::motion::{MotionProfile, MotionSegment};
 use hint_sim::{EventQueue, RngStream, SimDuration, SimTime};
 use hint_topology::spatial::{Disk, DiskIndex};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -406,6 +407,9 @@ pub struct FleetScenario {
     factory: AdapterFactory,
     profiles: Vec<MotionProfile>,
     paths: Vec<ClientPath>,
+    /// Per-client workloads with trace-file sources resolved inline at
+    /// compile time (span simulation never touches the filesystem).
+    workloads: Vec<Workload>,
     /// Full-duration hint stream per client (`None` for hint-oblivious
     /// fleets) — drives the association/handoff decisions.
     hints: Vec<Option<HintStream>>,
@@ -531,7 +535,14 @@ impl FleetScenario {
         let mut paths = Vec::with_capacity(spec.clients.len());
         let mut hints = Vec::with_capacity(spec.clients.len());
         let mut client_seeds = Vec::with_capacity(spec.clients.len());
+        let mut workloads = Vec::with_capacity(spec.clients.len());
         for (i, client) in spec.clients.iter().enumerate() {
+            workloads.push(
+                client
+                    .workload
+                    .resolve()
+                    .map_err(|e| ScenarioError::BadWorkload(format!("client {i}: {e}")))?,
+            );
             let seed = root.derive_idx("fleet-client", i as u64).seed();
             let profile = client.motion.profile(spec.duration);
             let stream = match &spec.hints {
@@ -584,6 +595,7 @@ impl FleetScenario {
             factory,
             profiles,
             paths,
+            workloads,
             hints,
             client_seeds,
             index,
@@ -1255,7 +1267,16 @@ impl FleetScenario {
             sim = sim.with_airtime_shares(span_shares);
         }
         let mut adapter = (self.factory)(&self.spec.protocol.params());
-        sim.run(adapter.as_mut(), self.spec.clients[c].workload)
+        // A trace workload replays the records that fall inside this
+        // span, rebased to span-local time, so a client's recorded
+        // schedule survives handoffs intact; Udp/Tcp borrow as-is.
+        let workload = match &self.workloads[c] {
+            Workload::Trace(TraceSource::Inline(t)) => {
+                Cow::Owned(Workload::Trace(TraceSource::Inline(t.window(from, to))))
+            }
+            w => Cow::Borrowed(w),
+        };
+        sim.run(adapter.as_mut(), &workload)
     }
 
     /// Activate an association for `run` at `now` (plus the

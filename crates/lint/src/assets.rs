@@ -21,6 +21,7 @@ pub fn check_assets(root: &Path) -> Vec<Diagnostic> {
     let corpus = test_corpus(root);
     let mut diags = Vec::new();
     check_scenarios(root, &corpus, &mut diags);
+    check_traces(root, &corpus, &mut diags);
     check_goldens(root, &corpus, &mut diags);
     check_bench_baseline(root, &mut diags);
     check_battery_docs(root, &mut diags);
@@ -80,6 +81,39 @@ fn check_scenarios(root: &Path, corpus: &Corpus, diags: &mut Vec<Diagnostic>) {
                 "checked-in scenario spec is not referenced by any test: add a replay \
                  test (or delete the spec) so the spec cannot silently drift from the \
                  builder that claims to produce it"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// A5: every packet trace under `scenarios/traces/` is replayed by at
+/// least one test.
+///
+/// Trace assets are recordings — there is no builder to diff them
+/// against, so the only thing keeping a checked-in trace honest is a
+/// test that feeds it back through the replay path (pattern:
+/// trace_determinism.rs `checked_in_trace_is_the_recorded_trace`).
+fn check_traces(root: &Path, corpus: &Corpus, diags: &mut Vec<Diagnostic>) {
+    let Ok(entries) = std::fs::read_dir(root.join("scenarios/traces")) else {
+        return;
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_file())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    for name in names {
+        let referenced = corpus.iter().any(|(_, src)| src.contains(&name));
+        if !referenced {
+            diags.push(Diagnostic::new(
+                format!("scenarios/traces/{name}"),
+                1,
+                RuleCode::Asset001,
+                "checked-in packet trace is not referenced by any test: add a replay \
+                 test (or delete the trace) so the recording cannot silently drift from \
+                 the run that claims to have produced it"
                     .to_string(),
             ));
         }

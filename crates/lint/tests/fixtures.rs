@@ -208,6 +208,9 @@ fn asset_violating_tree_golden_diagnostics() {
             "scenarios/orphan_spec.json:1: ASSET001 checked-in scenario spec is not \
              referenced by any test: add a replay test (or delete the spec) so the spec \
              cannot silently drift from the builder that claims to produce it",
+            "scenarios/traces/orphan_trace.txt:1: ASSET001 checked-in packet trace is not \
+             referenced by any test: add a replay test (or delete the trace) so the \
+             recording cannot silently drift from the run that claims to have produced it",
         ]
     );
 }

@@ -9,6 +9,11 @@ fn replays_spec() {
 }
 
 #[test]
+fn replays_trace() {
+    let _trace = "scenarios/traces/replayed_trace.txt";
+}
+
+#[test]
 #[ignore = "writes the checked-in golden"]
 fn regenerate_checked_in_files() {
     std::fs::write(

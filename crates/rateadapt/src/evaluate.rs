@@ -148,7 +148,7 @@ impl ScenarioFamily {
             motion: self.motion(i),
             duration: self.duration(),
             seed: cfg.seed.wrapping_add(i as u64),
-            workload: cfg.workload,
+            workload: cfg.workload.clone(),
             hints: if cfg.sensor_hints {
                 HintSpec::Sensors { seed: None }
             } else {

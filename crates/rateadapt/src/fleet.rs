@@ -917,6 +917,9 @@ impl FleetSpec {
             if let Err(e) = client.motion.validate(self.duration) {
                 return bad(format!("client {i}: {e}"));
             }
+            if let Err(e) = client.workload.validate() {
+                return Err(ScenarioError::BadWorkload(format!("client {i}: {e}")));
+            }
         }
         if HandoffPolicy::from_name(&self.handoff.policy).is_none() {
             return Err(ScenarioError::UnknownHandoffPolicy {
@@ -999,9 +1002,20 @@ impl FleetSpec {
     }
 
     /// Load from a JSON spec file.
+    ///
+    /// Relative trace-workload paths in per-client workloads are rebased
+    /// against the spec file's directory (see
+    /// [`crate::scenario::ScenarioSpec::load`]).
     pub fn load(path: &Path) -> io::Result<FleetSpec> {
         let s = std::fs::read_to_string(path)?;
-        FleetSpec::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let mut spec =
+            FleetSpec::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if let Some(dir) = path.parent() {
+            for client in &mut spec.clients {
+                client.workload.rebase(dir);
+            }
+        }
+        Ok(spec)
     }
 }
 
@@ -1710,6 +1724,28 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("client 1"), "{msg}");
         assert!(msg.contains("speed"), "{msg}");
+    }
+
+    #[test]
+    fn client_workload_errors_carry_the_client_index() {
+        use crate::workload::TcpConfig;
+        let degenerate = TcpConfig {
+            link_attempts: 0,
+            ..TcpConfig::default()
+        };
+        let err = walking_fleet()
+            .client(
+                10.0,
+                50.0,
+                MotionSpec::Stationary,
+                Workload::Tcp(degenerate),
+            )
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid workload"), "{msg}");
+        assert!(msg.contains("client 1"), "{msg}");
+        assert!(msg.contains("link_attempts"), "{msg}");
     }
 
     #[test]

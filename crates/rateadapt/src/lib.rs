@@ -23,6 +23,11 @@
 //! see the `scenario_run` binary for executing JSON spec files. The
 //! multi-trace evaluation harness in [`evaluate`] and the Fig. 3-5..3-8
 //! experiment binaries in the `hint-bench` crate are built on it.
+//!
+//! The third workload is recorded rather than synthetic: the [`trace`]
+//! module defines a packet-trace format (text and binary), and
+//! [`Workload::Trace`] replays one through the simulator —
+//! `scenario_run --record PATH` turns any run into such a trace.
 
 pub mod evaluate;
 pub mod fleet;
@@ -30,6 +35,7 @@ pub mod hintstream;
 pub mod protocols;
 pub mod scenario;
 pub mod sim;
+pub mod trace;
 pub mod workload;
 
 pub use fleet::{FleetBuilder, FleetOutcome, FleetSpec, HandoffPolicy};
@@ -43,4 +49,5 @@ pub use scenario::{
     ScenarioOutcome, ScenarioSpec,
 };
 pub use sim::{LinkSimulator, SimResult};
-pub use workload::Workload;
+pub use trace::{Direction, PacketRecord, PacketTrace, TraceError};
+pub use workload::{TcpConfig, TraceSource, Workload};

@@ -377,6 +377,13 @@ impl ScenarioSpec {
             .factory(&self.protocol.name)
             // detlint::allow(PANIC001): validate_with resolved this name above
             .expect("validated above");
+        // Resolve a trace-file workload to inline records now, so the
+        // compiled scenario never touches the filesystem at run time
+        // (and a bad trace file fails here, with context, not mid-run).
+        let workload = self
+            .workload
+            .resolve()
+            .map_err(ScenarioError::BadWorkload)?;
         let trace = Trace::generate(&environment, &profile, self.duration, self.seed);
         let mut sim = LinkSimulator::from_trace(trace).with_payload(self.payload_bytes);
         if let Some(hints) = self.hints.stream(&profile, self.duration, self.seed) {
@@ -384,6 +391,7 @@ impl ScenarioSpec {
         }
         Ok(Scenario {
             spec: self.clone(),
+            workload,
             environment,
             profile,
             protocol_name,
@@ -392,12 +400,17 @@ impl ScenarioSpec {
         })
     }
 
-    /// Validate without compiling (cheap: no trace generation).
+    /// Validate without compiling (cheap: no trace generation, no
+    /// filesystem — a trace-file workload's contents are checked when
+    /// [`ScenarioSpec::compile`] resolves them).
     pub fn validate(&self, registry: &ProtocolRegistry) -> Result<(), ScenarioError> {
         self.validate_shape()?;
         if self.payload_bytes == 0 {
             return Err(ScenarioError::ZeroPayload);
         }
+        self.workload
+            .validate()
+            .map_err(ScenarioError::BadWorkload)?;
         if !registry.contains(&self.protocol.name) {
             let e = registry.unknown(&self.protocol.name);
             return Err(ScenarioError::UnknownProtocol {
@@ -446,9 +459,18 @@ impl ScenarioSpec {
     }
 
     /// Load from a JSON spec file.
+    ///
+    /// A relative trace-workload path in the spec is rebased against the
+    /// spec file's directory, so `scenario_run scenarios/foo.json` finds
+    /// `scenarios/traces/...` from any working directory.
     pub fn load(path: &Path) -> io::Result<ScenarioSpec> {
         let s = std::fs::read_to_string(path)?;
-        ScenarioSpec::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let mut spec = ScenarioSpec::from_json(&s)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if let Some(dir) = path.parent() {
+            spec.workload.rebase(dir);
+        }
+        Ok(spec)
     }
 }
 
@@ -466,6 +488,10 @@ pub enum ScenarioError {
     /// The motion spec is inconsistent with the duration (message says
     /// how).
     BadMotion(String),
+    /// The workload is degenerate (a TCP config that would hang the
+    /// model, an empty or unloadable packet trace; message says which
+    /// parameter and why).
+    BadWorkload(String),
     /// The protocol name is not in the registry.
     UnknownProtocol {
         /// The unresolvable name.
@@ -492,6 +518,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::ZeroDuration => write!(f, "scenario duration must be positive"),
             ScenarioError::ZeroPayload => write!(f, "payload size must be positive"),
             ScenarioError::BadMotion(msg) => write!(f, "invalid motion spec: {msg}"),
+            ScenarioError::BadWorkload(msg) => write!(f, "invalid workload: {msg}"),
             ScenarioError::UnknownProtocol { name, known } => write!(
                 f,
                 "unknown protocol `{name}` (registered: {})",
@@ -673,6 +700,8 @@ impl ScenarioBuilder {
 /// worker thread or kept alive across a whole sweep.
 pub struct Scenario {
     spec: ScenarioSpec,
+    /// The spec's workload with any trace-file source resolved inline.
+    workload: Workload,
     environment: Environment,
     profile: MotionProfile,
     protocol_name: String,
@@ -730,7 +759,26 @@ impl Scenario {
     /// the escape hatch for adapters configured beyond what
     /// [`ProtocolParams`] expresses.
     pub fn run_with(&self, adapter: &mut dyn RateAdapter) -> SimResult {
-        self.sim.run(adapter, self.spec.workload)
+        self.sim.run(adapter, &self.workload)
+    }
+
+    /// Like [`Scenario::run`], additionally returning the delivered-packet
+    /// trace (one `s` record per delivered packet at its send-start
+    /// time). The trace is what `scenario_run --record PATH` writes, and
+    /// it replays via [`crate::Workload::trace`] /
+    /// [`crate::Workload::trace_file`].
+    pub fn run_recording(&self) -> (ScenarioOutcome, crate::trace::PacketTrace) {
+        let mut adapter = (self.factory)(&self.spec.protocol.params());
+        let (result, trace) = self.sim.run_recording(adapter.as_mut(), &self.workload);
+        (
+            ScenarioOutcome {
+                environment: self.environment.name.clone(),
+                protocol: self.protocol_name.clone(),
+                seed: self.spec.seed,
+                result,
+            },
+            trace,
+        )
     }
 }
 
@@ -811,7 +859,7 @@ mod tests {
         let mut adapter = crate::protocols::HintAware::new();
         let hand = LinkSimulator::new(&trace)
             .with_hints(&hints)
-            .run(&mut adapter, Workload::tcp());
+            .run(&mut adapter, &Workload::tcp());
 
         assert_eq!(outcome.result, hand);
     }
@@ -946,5 +994,83 @@ mod tests {
             assert_eq!(env.name, display);
         }
         assert_eq!(EnvironmentSpec::from_name("moonbase"), None);
+    }
+
+    #[test]
+    fn degenerate_tcp_workload_fails_validation_not_the_run() {
+        // The historical hang: this spec deserialized fine and then spun
+        // run_tcp forever. It must now be a validation error.
+        use crate::workload::TcpConfig;
+        let spec = ScenarioBuilder::new()
+            .workload(Workload::Tcp(TcpConfig {
+                rtt: SimDuration::ZERO,
+                rto: SimDuration::ZERO,
+                rto_max: SimDuration::ZERO,
+                link_attempts: 0,
+                cwnd_cap: 0.0,
+            }))
+            .into_spec();
+        let err = spec.run().expect_err("degenerate TCP must be rejected");
+        match &err {
+            ScenarioError::BadWorkload(msg) => {
+                assert!(msg.contains("link_attempts"), "{msg}")
+            }
+            other => panic!("expected BadWorkload, got {other:?}"),
+        }
+        assert!(err.to_string().contains("invalid workload"));
+    }
+
+    #[test]
+    fn record_then_replay_is_deterministic() {
+        let spec = ScenarioBuilder::new()
+            .duration(SimDuration::from_secs(3))
+            .seed(21)
+            .sensor_hints()
+            .into_spec();
+        let scenario = spec.compile().expect("valid");
+        let (outcome, trace) = scenario.run_recording();
+        // Recording must not perturb the run itself.
+        assert_eq!(outcome, scenario.run());
+        assert_eq!(trace.len() as u64, outcome.result.packets_delivered);
+
+        // Replaying the recorded trace through the same channel is
+        // deterministic and offers exactly the recorded packets.
+        let replay_spec = ScenarioSpec {
+            workload: Workload::trace(trace.clone()),
+            ..spec
+        };
+        let a = replay_spec.run().expect("valid");
+        let b = replay_spec.run().expect("valid");
+        assert_eq!(a, b);
+        // Each recorded packet is offered at most once (the replay's own
+        // serialisation may clip tail records at the trace end).
+        assert!(a.result.packets_sent <= trace.send_count() as u64);
+        assert!(a.result.packets_sent > 0);
+    }
+
+    #[test]
+    fn trace_workload_path_rebases_on_load() {
+        let dir = std::env::temp_dir().join("rateadapt-scn-rebase-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let trace_path = dir.join("pkts.txt");
+        std::fs::write(&trace_path, "0,s,1000\n500,s,1000\n").expect("trace");
+        let spec_path = dir.join("spec.json");
+        let spec = ScenarioBuilder::new()
+            .duration(SimDuration::from_secs(1))
+            .workload(Workload::trace_file("pkts.txt"))
+            .into_spec();
+        spec.save(&spec_path).expect("save");
+
+        let loaded = ScenarioSpec::load(&spec_path).expect("load");
+        // The relative path now points inside the spec's directory…
+        match &loaded.workload {
+            Workload::Trace(crate::workload::TraceSource::Path(p)) => {
+                assert!(p.ends_with("pkts.txt") && p.len() > "pkts.txt".len(), "{p}")
+            }
+            other => panic!("expected trace path workload, got {other:?}"),
+        }
+        // …so compiling resolves and runs it from any cwd.
+        let outcome = loaded.run().expect("replayable");
+        assert_eq!(outcome.result.packets_sent, 2);
     }
 }

@@ -17,7 +17,8 @@
 
 use crate::hintstream::HintStream;
 use crate::protocols::RateAdapter;
-use crate::workload::{TcpConfig, Workload};
+use crate::trace::{Direction, PacketRecord, PacketTrace};
+use crate::workload::{TcpConfig, TraceSource, Workload};
 use hint_channel::Trace;
 use hint_mac::{BitRate, MacTiming};
 use hint_sim::{RngStream, SimDuration, SimTime};
@@ -201,11 +202,53 @@ impl<'a> LinkSimulator<'a> {
     /// Each call is an independent experiment: the per-packet noise
     /// stream is re-seeded from the trace seed on entry, so running twice
     /// on one simulator is bit-identical to two freshly constructed runs.
-    pub fn run(&self, adapter: &mut dyn RateAdapter, workload: Workload) -> SimResult {
+    ///
+    /// A [`Workload::Trace`] must carry inline records here
+    /// ([`crate::Workload::resolve`] — which spec compilation always
+    /// runs — turns a path source into one); the simulator itself never
+    /// touches the filesystem.
+    pub fn run(&self, adapter: &mut dyn RateAdapter, workload: &Workload) -> SimResult {
+        self.run_inner(adapter, workload, None)
+    }
+
+    /// Like [`LinkSimulator::run`], additionally recording the
+    /// delivered-packet schedule: one `s` record per delivered packet at
+    /// its send-start time. The recorded trace is itself a valid
+    /// [`Workload::Trace`] workload, so any run can be re-fed as an
+    /// experiment (`scenario_run --record`).
+    pub fn run_recording(
+        &self,
+        adapter: &mut dyn RateAdapter,
+        workload: &Workload,
+    ) -> (SimResult, PacketTrace) {
+        let mut records = Vec::new();
+        let result = self.run_inner(adapter, workload, Some(&mut records));
+        // Send times are non-decreasing by construction (each packet
+        // starts at or after the previous one's start), so the recorded
+        // trace always satisfies the PacketTrace invariants.
+        (result, PacketTrace { records })
+    }
+
+    fn run_inner(
+        &self,
+        adapter: &mut dyn RateAdapter,
+        workload: &Workload,
+        rec: Option<&mut Vec<PacketRecord>>,
+    ) -> SimResult {
         *self.noise_rng.borrow_mut() = RngStream::new(self.trace.seed).derive("link-noise");
         match workload {
-            Workload::Udp => self.run_udp(adapter),
-            Workload::Tcp(cfg) => self.run_tcp(adapter, cfg),
+            Workload::Udp => self.run_udp(adapter, rec),
+            Workload::Tcp(cfg) => self.run_tcp(adapter, *cfg, rec),
+            Workload::Trace(TraceSource::Inline(t)) => self.run_trace(adapter, t, rec),
+            Workload::Trace(TraceSource::Path(p)) => {
+                // Programmer error, not a spec error: every spec path
+                // (scenario and fleet compilation) resolves trace files
+                // before the simulator is reached.
+                panic!(
+                    "Workload::Trace path `{p}` reached LinkSimulator::run unresolved; \
+                     call Workload::resolve() first (spec compilation does)"
+                );
+            }
         }
     }
 
@@ -248,6 +291,21 @@ impl<'a> LinkSimulator<'a> {
         usage: &mut [u64; BitRate::COUNT],
         rate_cap: Option<usize>,
     ) -> (bool, SimTime, BitRate) {
+        self.attempt_sized(adapter, now, usage, rate_cap, None)
+    }
+
+    /// [`LinkSimulator::attempt`] with an optional per-packet payload
+    /// size override: trace replay carries each record's own size, so
+    /// its airtime is computed per packet instead of from the hoisted
+    /// fixed-payload table (`None` is byte-identical to the table path).
+    fn attempt_sized(
+        &self,
+        adapter: &mut dyn RateAdapter,
+        now: SimTime,
+        usage: &mut [u64; BitRate::COUNT],
+        rate_cap: Option<usize>,
+        size: Option<u32>,
+    ) -> (bool, SimTime, BitRate) {
         let mut rate = adapter.pick_rate(now);
         if let Some(cap) = rate_cap {
             if rate.index() > cap {
@@ -257,7 +315,10 @@ impl<'a> LinkSimulator<'a> {
         usage[rate.index()] += 1;
         let noise_hit = self.noise_rng.borrow_mut().chance(self.trace.noise_loss);
         let ok = self.trace.fate(now, rate) && !noise_hit;
-        let airtime = self.exchange_airtimes[rate.index()];
+        let airtime = match size {
+            None => self.exchange_airtimes[rate.index()],
+            Some(bytes) => self.timing.exchange_airtime(rate, bytes),
+        };
         let done = match &self.airtime_shares {
             // Uncontended: exact pre-contention arithmetic.
             None => now + airtime,
@@ -271,7 +332,11 @@ impl<'a> LinkSimulator<'a> {
         (ok, done, rate)
     }
 
-    fn run_udp(&self, adapter: &mut dyn RateAdapter) -> SimResult {
+    fn run_udp(
+        &self,
+        adapter: &mut dyn RateAdapter,
+        mut rec: Option<&mut Vec<PacketRecord>>,
+    ) -> SimResult {
         let end = SimTime::ZERO + self.trace.duration();
         let mut now = SimTime::ZERO;
         let mut sent = 0u64;
@@ -288,6 +353,13 @@ impl<'a> LinkSimulator<'a> {
                 let sec = (now.as_micros() / 1_000_000) as usize;
                 if sec < per_second.len() {
                     per_second[sec] += 1;
+                }
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push(PacketRecord {
+                        time_us: now.as_micros(),
+                        direction: Direction::Send,
+                        size: self.payload_bytes,
+                    });
                 }
             }
             now = done;
@@ -306,7 +378,12 @@ impl<'a> LinkSimulator<'a> {
         }
     }
 
-    fn run_tcp(&self, adapter: &mut dyn RateAdapter, cfg: TcpConfig) -> SimResult {
+    fn run_tcp(
+        &self,
+        adapter: &mut dyn RateAdapter,
+        cfg: TcpConfig,
+        mut rec: Option<&mut Vec<PacketRecord>>,
+    ) -> SimResult {
         let end = SimTime::ZERO + self.trace.duration();
         let mut now = SimTime::ZERO;
         let mut sent = 0u64;
@@ -320,6 +397,10 @@ impl<'a> LinkSimulator<'a> {
         let mut consecutive_drops = 0u32;
         let mut window_start = now;
         let mut pkts_in_window = 0.0f64;
+        // Spec validation rejects link_attempts == 0; clamp anyway so a
+        // direct-API degenerate config cannot loop without advancing
+        // time (identity for every valid config).
+        let link_attempts = cfg.link_attempts.max(1);
 
         while now < end {
             self.feedback(adapter, now);
@@ -327,9 +408,10 @@ impl<'a> LinkSimulator<'a> {
             // One TCP segment: up to `link_attempts` MAC tries with a
             // multi-rate-retry chain stepping the cap down each retry.
             sent += 1;
+            let seg_start = now;
             let mut ok = false;
             let mut first_rate_idx = None;
-            for k in 0..cfg.link_attempts {
+            for k in 0..link_attempts {
                 let cap = first_rate_idx.map(|r0: usize| r0.saturating_sub(k as usize));
                 let (a_ok, done, rate) = self.attempt(adapter, now, &mut usage, cap);
                 if first_rate_idx.is_none() {
@@ -348,9 +430,22 @@ impl<'a> LinkSimulator<'a> {
 
             if ok {
                 delivered += 1;
-                let sec = (now.as_micros() / 1_000_000) as usize;
+                // Bucket by the segment's send-start second (as UDP
+                // does): a retry chain or RTO backoff can push the
+                // *completion* time past `end`, and bucketing by that
+                // used to silently drop the delivery from the series.
+                // The send start is always inside the trace, so the sum
+                // of the series equals `packets_delivered`.
+                let sec = (seg_start.as_micros() / 1_000_000) as usize;
                 if sec < per_second.len() {
                     per_second[sec] += 1;
+                }
+                if let Some(r) = rec.as_deref_mut() {
+                    r.push(PacketRecord {
+                        time_us: seg_start.as_micros(),
+                        direction: Direction::Send,
+                        size: self.payload_bytes,
+                    });
                 }
                 consecutive_drops = 0;
                 cwnd = if cwnd < ssthresh {
@@ -401,6 +496,73 @@ impl<'a> LinkSimulator<'a> {
             delivered_per_second: per_second,
         }
     }
+
+    /// Replay a recorded packet trace against the link.
+    ///
+    /// Each `s` record is offered at `max(recorded time, previous packet
+    /// done)` — the schedule paces the sender, the link serialises it —
+    /// so idle gaps in the recording are skipped deterministically
+    /// instead of being busy-waited. `r` records are receiver-side
+    /// context and do not transmit. One link attempt per packet (like
+    /// UDP), with the record's own payload size driving airtime and
+    /// goodput.
+    fn run_trace(
+        &self,
+        adapter: &mut dyn RateAdapter,
+        t: &PacketTrace,
+        mut rec: Option<&mut Vec<PacketRecord>>,
+    ) -> SimResult {
+        let end = SimTime::ZERO + self.trace.duration();
+        let mut now = SimTime::ZERO;
+        let mut sent = 0u64;
+        let mut delivered = 0u64;
+        let mut delivered_bytes = 0u64;
+        let mut usage = [0u64; BitRate::COUNT];
+        let mut per_second = vec![0u64; self.trace.duration().as_secs_f64().ceil() as usize];
+
+        for r in t.records.iter().filter(|r| r.direction == Direction::Send) {
+            let scheduled = SimTime::ZERO + SimDuration::from_micros(r.time_us);
+            if scheduled > now {
+                now = scheduled;
+            }
+            // The channel trace ends before the packet trace does: stop
+            // replaying (records are time-sorted, so nothing later fits
+            // either).
+            if now >= end {
+                break;
+            }
+            self.feedback(adapter, now);
+            let (ok, done, _) = self.attempt_sized(adapter, now, &mut usage, None, Some(r.size));
+            sent += 1;
+            if ok {
+                delivered += 1;
+                delivered_bytes += u64::from(r.size);
+                let sec = (now.as_micros() / 1_000_000) as usize;
+                if sec < per_second.len() {
+                    per_second[sec] += 1;
+                }
+                if let Some(out) = rec.as_deref_mut() {
+                    out.push(PacketRecord {
+                        time_us: now.as_micros(),
+                        direction: Direction::Send,
+                        size: r.size,
+                    });
+                }
+            }
+            now = done;
+        }
+
+        let duration = self.trace.duration();
+        SimResult {
+            packets_sent: sent,
+            packets_delivered: delivered,
+            attempts: sent,
+            goodput_bps: delivered_bytes as f64 * 8.0 / duration.as_secs_f64(),
+            duration,
+            rate_usage: usage,
+            delivered_per_second: per_second,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -429,7 +591,7 @@ mod tests {
     fn udp_goodput_bounded_by_phy() {
         let t = trace(false, 10, 1);
         let mut rs = RapidSample::new();
-        let res = LinkSimulator::new(&t).run(&mut rs, Workload::Udp);
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::Udp);
         assert!(res.goodput_mbps() > 1.0, "goodput {}", res.goodput_mbps());
         assert!(res.goodput_mbps() < 54.0);
         assert_eq!(res.attempts, res.packets_sent);
@@ -440,9 +602,9 @@ mod tests {
     fn tcp_goodput_below_udp_under_loss() {
         let t = trace(true, 20, 2);
         let mut a = RapidSample::new();
-        let udp = LinkSimulator::new(&t).run(&mut a, Workload::Udp);
+        let udp = LinkSimulator::new(&t).run(&mut a, &Workload::Udp);
         let mut b = RapidSample::new();
-        let tcp = LinkSimulator::new(&t).run(&mut b, Workload::tcp());
+        let tcp = LinkSimulator::new(&t).run(&mut b, &Workload::tcp());
         assert!(
             tcp.goodput_bps <= udp.goodput_bps * 1.05,
             "tcp {} vs udp {}",
@@ -456,7 +618,7 @@ mod tests {
     fn rate_usage_accounts_for_all_attempts() {
         let t = trace(true, 5, 3);
         let mut rs = SampleRate::new();
-        let res = LinkSimulator::new(&t).run(&mut rs, Workload::Udp);
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::Udp);
         let total: u64 = res.rate_usage.iter().sum();
         assert_eq!(total, res.attempts);
     }
@@ -465,7 +627,7 @@ mod tests {
     fn per_second_series_sums_to_delivered() {
         let t = trace(false, 10, 4);
         let mut rs = RapidSample::new();
-        let res = LinkSimulator::new(&t).run(&mut rs, Workload::Udp);
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::Udp);
         let sum: u64 = res.delivered_per_second.iter().sum();
         assert_eq!(sum, res.packets_delivered);
         assert_eq!(res.delivered_per_second.len(), 10);
@@ -477,7 +639,7 @@ mod tests {
         let run = || {
             let mut rs = RapidSample::new();
             LinkSimulator::new(&t)
-                .run(&mut rs, Workload::Udp)
+                .run(&mut rs, &Workload::Udp)
                 .goodput_bps
         };
         assert_eq!(run(), run());
@@ -492,7 +654,7 @@ mod tests {
             if let Some(s) = shares {
                 sim = sim.with_airtime_shares(s);
             }
-            sim.run(&mut a, Workload::Udp)
+            sim.run(&mut a, &Workload::Udp)
         };
         let base = run(None);
         let full = run(Some(vec![1.0; 10]));
@@ -506,7 +668,7 @@ mod tests {
             let mut a = RapidSample::new();
             LinkSimulator::new(&t)
                 .with_airtime_shares(vec![share; 10])
-                .run(&mut a, Workload::Udp)
+                .run(&mut a, &Workload::Udp)
                 .goodput_bps
         };
         let full = run(1.0);
@@ -524,14 +686,14 @@ mod tests {
         let mut a = RapidSample::new();
         let res = LinkSimulator::new(&t)
             .with_airtime_shares(vec![0.0, f64::NAN, -3.0, 1e-9, 0.2])
-            .run(&mut a, Workload::Udp);
+            .run(&mut a, &Workload::Udp);
         assert!(res.goodput_bps.is_finite());
         assert!(res.packets_sent > 0, "clamped shares still move frames");
         // Seconds past the share vector run uncontended.
         let mut b = RapidSample::new();
         let short = LinkSimulator::new(&t)
             .with_airtime_shares(vec![0.5])
-            .run(&mut b, Workload::Udp);
+            .run(&mut b, &Workload::Udp);
         assert!(short.packets_sent > 0);
     }
 
@@ -560,9 +722,106 @@ mod tests {
         let mut probe = Probe { hints: Vec::new() };
         LinkSimulator::new(&t)
             .with_hints(&hints)
-            .run(&mut probe, Workload::Udp);
+            .run(&mut probe, &Workload::Udp);
         assert!(!probe.hints.is_empty());
         assert!(probe.hints.iter().any(|&m| m));
         assert!(probe.hints.iter().any(|&m| !m));
+    }
+
+    #[test]
+    fn tcp_per_second_series_sums_to_delivered_on_partial_final_second() {
+        // Regression: a fractional trace duration guarantees segments
+        // whose retry chain / RTO backoff completes past `end`; those
+        // deliveries used to vanish from `delivered_per_second` while
+        // still counting in `packets_delivered`.
+        let p = MotionProfile::walking(SimDuration::from_millis(2500), 1.4, 0.0);
+        let t = Trace::generate(
+            &Environment::office(),
+            &p,
+            SimDuration::from_millis(2500),
+            11,
+        );
+        let mut rs = RapidSample::new();
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::tcp());
+        assert_eq!(res.delivered_per_second.len(), 3);
+        let sum: u64 = res.delivered_per_second.iter().sum();
+        assert_eq!(sum, res.packets_delivered);
+        assert!(res.packets_delivered > 0);
+    }
+
+    #[test]
+    fn degenerate_tcp_config_terminates() {
+        // link_attempts == 0 must not hang even when fed straight to the
+        // simulator API (spec validation rejects it earlier).
+        let t = trace(false, 1, 12);
+        let mut rs = RapidSample::new();
+        let cfg = TcpConfig {
+            link_attempts: 0,
+            ..TcpConfig::default()
+        };
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::Tcp(cfg));
+        assert!(res.packets_sent > 0);
+    }
+
+    #[test]
+    fn recorded_trace_replays_deterministically() {
+        let t = trace(false, 5, 13);
+        let mut rs = RapidSample::new();
+        let (udp_res, recorded) = LinkSimulator::new(&t).run_recording(&mut rs, &Workload::Udp);
+        assert_eq!(recorded.len() as u64, udp_res.packets_delivered);
+        assert!(recorded.validate_replayable().is_ok());
+
+        let replay = || {
+            let mut a = RapidSample::new();
+            LinkSimulator::new(&t).run(&mut a, &Workload::trace(recorded.clone()))
+        };
+        let one = replay();
+        let two = replay();
+        assert_eq!(one, two, "trace replay must be deterministic");
+        // At most one offer per recorded packet (the replay may clip
+        // tail records if its own serialisation falls behind the
+        // recorded schedule and reaches the trace end first).
+        assert!(one.packets_sent <= recorded.send_count() as u64);
+        assert!(one.packets_sent > 0);
+        assert_eq!(one.attempts, one.packets_sent);
+        assert!(one.packets_delivered > 0);
+        assert!(one.goodput_bps > 0.0);
+    }
+
+    #[test]
+    fn trace_replay_skips_idle_gaps_and_clips_at_trace_end() {
+        let t = trace(false, 2, 14);
+        // Two sends separated by a long idle gap, one receive (ignored),
+        // one send past the channel trace's end (clipped).
+        let pkt = PacketTrace::new(vec![
+            PacketRecord {
+                time_us: 0,
+                direction: Direction::Send,
+                size: 1000,
+            },
+            PacketRecord {
+                time_us: 500_000,
+                direction: Direction::Recv,
+                size: 200,
+            },
+            PacketRecord {
+                time_us: 1_900_000,
+                direction: Direction::Send,
+                size: 1000,
+            },
+            PacketRecord {
+                time_us: 5_000_000,
+                direction: Direction::Send,
+                size: 1000,
+            },
+        ])
+        .unwrap();
+        let mut rs = RapidSample::new();
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::trace(pkt));
+        assert_eq!(res.packets_sent, 2, "recv ignored, post-end send clipped");
+        // The sends land in their scheduled seconds, not back-to-back.
+        assert_eq!(res.delivered_per_second.len(), 2);
+        let sum: u64 = res.delivered_per_second.iter().sum();
+        assert_eq!(sum, res.packets_delivered);
     }
 }

@@ -8,9 +8,16 @@
 //! sustained blackouts, slow start/congestion avoidance — enough to
 //! reproduce TCP's disproportionate punishment of bursty link loss without
 //! simulating a full stack.
+//!
+//! The third workload is a recorded one: [`Workload::Trace`] replays a
+//! [`PacketTrace`] — each packet offered to the link at its recorded
+//! time — from an inline record list or a trace file (see
+//! [`crate::trace`]).
 
+use crate::trace::PacketTrace;
 use hint_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Parameters of the lightweight TCP model.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -39,17 +46,84 @@ impl Default for TcpConfig {
     }
 }
 
+impl TcpConfig {
+    /// Reject degenerate parameter sets before they reach the simulator.
+    ///
+    /// The guards are exactly the ways a spec-supplied config can stall
+    /// or corrupt `run_tcp`: `link_attempts == 0` makes a segment loop
+    /// that never advances time (the historical hang), a zero `rtt`/`rto`
+    /// disables pacing/backoff, `rto > rto_max` inverts the backoff
+    /// clamp, and `cwnd_cap < 2` is below the model's loss-recovery
+    /// floor.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.link_attempts == 0 {
+            return Err(
+                "TCP link_attempts must be >= 1: zero attempts per segment would make no \
+                 link progress and hang the run"
+                    .to_string(),
+            );
+        }
+        if self.rtt.is_zero() {
+            return Err(
+                "TCP rtt must be positive (window pacing needs a real round trip)".to_string(),
+            );
+        }
+        if self.rto.is_zero() {
+            return Err(
+                "TCP rto must be positive (a zero retransmission timeout retries without \
+                 advancing time)"
+                    .to_string(),
+            );
+        }
+        if self.rto > self.rto_max {
+            return Err(format!(
+                "TCP rto {} exceeds rto_max {}; raise rto_max or lower rto",
+                self.rto, self.rto_max
+            ));
+        }
+        if !(self.cwnd_cap.is_finite() && self.cwnd_cap >= 2.0) {
+            return Err(format!(
+                "TCP cwnd_cap must be finite and >= 2 packets, got {}",
+                self.cwnd_cap
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Where a trace workload's packet schedule comes from.
+///
+/// Specs normally carry `Path` (small JSON, the trace stays a separate
+/// artifact); compilation resolves it to `Inline` via
+/// [`Workload::resolve`], so the simulator itself never touches the
+/// filesystem.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceSource {
+    /// A trace file (text or binary, auto-detected; see
+    /// [`crate::trace::PacketTrace::load`]). Relative paths in spec
+    /// files are rebased against the spec file's directory on load.
+    Path(String),
+    /// The records themselves, embedded in the spec.
+    Inline(PacketTrace),
+}
+
 /// A traffic workload driving the link simulator.
 ///
-/// Serializes for [`crate::scenario::ScenarioSpec`]: `"Udp"` or
-/// `{"Tcp": {...}}` in JSON.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+/// Serializes for [`crate::scenario::ScenarioSpec`]: `"Udp"`,
+/// `{"Tcp": {...}}`, or `{"Trace": {"Path": "traces/walk.txt"}}` /
+/// `{"Trace": {"Inline": {...}}}` in JSON.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Workload {
     /// Saturated UDP: back-to-back packets, one link attempt each,
     /// goodput = delivered fraction.
     Udp,
     /// The lightweight TCP model.
     Tcp(TcpConfig),
+    /// Replay a recorded packet trace: each `s` record is offered to
+    /// the link at its recorded time (idle gaps are skipped
+    /// deterministically), one link attempt each, per-record payload
+    /// sizes.
+    Trace(TraceSource),
 }
 
 impl Workload {
@@ -57,11 +131,87 @@ impl Workload {
     pub fn tcp() -> Workload {
         Workload::Tcp(TcpConfig::default())
     }
+
+    /// Replay the trace file at `path`.
+    pub fn trace_file(path: impl Into<String>) -> Workload {
+        Workload::Trace(TraceSource::Path(path.into()))
+    }
+
+    /// Replay an in-memory trace.
+    pub fn trace(trace: PacketTrace) -> Workload {
+        Workload::Trace(TraceSource::Inline(trace))
+    }
+
+    /// Validate the workload parameters (no filesystem access — a
+    /// `Trace` path is only checked for non-emptiness here; the file
+    /// itself is parsed by [`Workload::resolve`] at compile time).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Workload::Udp => Ok(()),
+            Workload::Tcp(cfg) => cfg.validate(),
+            Workload::Trace(TraceSource::Path(p)) => {
+                if p.is_empty() {
+                    Err(
+                        "trace workload path is empty; point it at a packet-trace file \
+                         (text or binary)"
+                            .to_string(),
+                    )
+                } else {
+                    Ok(())
+                }
+            }
+            Workload::Trace(TraceSource::Inline(t)) => t.validate_replayable(),
+        }
+    }
+
+    /// Resolve a `Trace` path source to its inline records (loading and
+    /// parsing the file); `Udp`/`Tcp`/inline traces pass through
+    /// unchanged. The returned workload never needs the filesystem
+    /// again, which is what the simulator requires.
+    pub fn resolve(&self) -> Result<Workload, String> {
+        match self {
+            Workload::Trace(TraceSource::Path(p)) => {
+                let trace = PacketTrace::load(Path::new(p))
+                    .map_err(|e| format!("cannot load packet trace: {e}"))?;
+                trace.validate_replayable()?;
+                Ok(Workload::Trace(TraceSource::Inline(trace)))
+            }
+            w => Ok(w.clone()),
+        }
+    }
+
+    /// Rebase a relative `Trace` path against `base` (the directory of
+    /// the spec file it came from), so a spec runs identically from any
+    /// working directory.
+    pub fn rebase(&mut self, base: &Path) {
+        if let Workload::Trace(TraceSource::Path(p)) = self {
+            if !p.is_empty() && !Path::new(p.as_str()).is_absolute() {
+                *p = base.join(p.as_str()).to_string_lossy().into_owned();
+            }
+        }
+    }
+
+    /// A one-line human-readable summary (an inline trace prints its
+    /// shape, not its thousands of records).
+    pub fn summary(&self) -> String {
+        match self {
+            Workload::Udp => "Udp".to_string(),
+            Workload::Tcp(cfg) => format!("{cfg:?}"),
+            Workload::Trace(TraceSource::Path(p)) => format!("Trace({p})"),
+            Workload::Trace(TraceSource::Inline(t)) => format!(
+                "Trace(inline: {} records, {} sends, {})",
+                t.len(),
+                t.send_count(),
+                t.duration()
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::{Direction, PacketRecord};
 
     #[test]
     fn defaults_are_sane() {
@@ -71,5 +221,97 @@ mod tests {
         assert!(c.link_attempts >= 1);
         assert!(c.cwnd_cap >= 2.0);
         assert_eq!(Workload::tcp(), Workload::Tcp(TcpConfig::default()));
+        assert!(TcpConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_tcp_configs_are_rejected() {
+        let zeroed = TcpConfig {
+            rtt: SimDuration::ZERO,
+            rto: SimDuration::ZERO,
+            rto_max: SimDuration::ZERO,
+            link_attempts: 0,
+            cwnd_cap: 0.0,
+        };
+        // The historical hang is the first thing called out.
+        let msg = zeroed.validate().unwrap_err();
+        assert!(msg.contains("link_attempts must be >= 1"), "{msg}");
+
+        let no_rtt = TcpConfig {
+            rtt: SimDuration::ZERO,
+            ..TcpConfig::default()
+        };
+        assert!(no_rtt
+            .validate()
+            .unwrap_err()
+            .contains("rtt must be positive"));
+
+        let inverted = TcpConfig {
+            rto: SimDuration::from_secs(10),
+            rto_max: SimDuration::from_secs(3),
+            ..TcpConfig::default()
+        };
+        assert!(inverted.validate().unwrap_err().contains("exceeds rto_max"));
+
+        let tiny_cwnd = TcpConfig {
+            cwnd_cap: 1.0,
+            ..TcpConfig::default()
+        };
+        assert!(tiny_cwnd.validate().unwrap_err().contains("cwnd_cap"));
+    }
+
+    #[test]
+    fn workload_validate_covers_all_variants() {
+        assert!(Workload::Udp.validate().is_ok());
+        assert!(Workload::tcp().validate().is_ok());
+        assert!(Workload::trace_file("traces/x.txt").validate().is_ok());
+        assert!(Workload::trace_file("").validate().is_err());
+        assert!(Workload::trace(PacketTrace::default()).validate().is_err());
+        let one = PacketTrace::new(vec![PacketRecord {
+            time_us: 0,
+            direction: Direction::Send,
+            size: 1000,
+        }])
+        .unwrap();
+        assert!(Workload::trace(one).validate().is_ok());
+    }
+
+    #[test]
+    fn resolve_rejects_missing_trace_files() {
+        let err = Workload::trace_file("/nonexistent/trace.txt")
+            .resolve()
+            .unwrap_err();
+        assert!(err.contains("cannot load packet trace"), "{err}");
+        // Non-trace workloads resolve to themselves.
+        assert_eq!(Workload::Udp.resolve().unwrap(), Workload::Udp);
+    }
+
+    #[test]
+    fn rebase_only_touches_relative_paths() {
+        let base = Path::new("/specs");
+        let mut rel = Workload::trace_file("traces/a.txt");
+        rel.rebase(base);
+        assert_eq!(rel, Workload::trace_file("/specs/traces/a.txt"));
+        let mut abs = Workload::trace_file("/data/b.txt");
+        abs.rebase(base);
+        assert_eq!(abs, Workload::trace_file("/data/b.txt"));
+        let mut udp = Workload::Udp;
+        udp.rebase(base);
+        assert_eq!(udp, Workload::Udp);
+    }
+
+    #[test]
+    fn summary_is_compact_for_inline_traces() {
+        let t = PacketTrace::new(vec![PacketRecord {
+            time_us: 500,
+            direction: Direction::Send,
+            size: 1000,
+        }])
+        .unwrap();
+        let s = Workload::trace(t).summary();
+        assert!(s.contains("1 records"), "{s}");
+        assert!(!s.contains("time_us"), "summary must not dump records: {s}");
+        assert_eq!(Workload::Udp.summary(), "Udp");
+        assert!(Workload::trace_file("x.txt").summary().contains("x.txt"));
     }
 }

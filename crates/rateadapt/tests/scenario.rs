@@ -153,7 +153,7 @@ fn spec_and_builder_agree_bit_identically_with_hand_built_run() {
         .unwrap();
     let hand = LinkSimulator::new(&trace)
         .with_hints(&hints)
-        .run(adapter.as_mut(), Workload::tcp());
+        .run(adapter.as_mut(), &Workload::tcp());
 
     // 2. Builder.
     let built = ScenarioBuilder::new()

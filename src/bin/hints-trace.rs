@@ -154,7 +154,7 @@ fn workload_of(args: &[String]) -> Workload {
 /// Replay one registered protocol over a loaded trace, using ground-
 /// truth-with-detector-latency hints derived from the trace's own
 /// movement flags.
-fn replay(trace: &Trace, protocol: &str, workload: Workload) -> f64 {
+fn replay(trace: &Trace, protocol: &str, workload: &Workload) -> f64 {
     // Rebuild a hint stream from the trace's stored ground truth with a
     // 100 ms oracle latency (the detector's measured class).
     let profile = profile_from_trace(trace);
@@ -217,7 +217,7 @@ fn cmd_replay(path: &str, args: &[String]) -> ExitCode {
         );
         return ExitCode::from(2);
     };
-    let goodput = replay(&trace, &name, workload_of(args));
+    let goodput = replay(&trace, &name, &workload_of(args));
     println!("{name}: {:.2} Mbit/s", goodput / 1e6);
     ExitCode::SUCCESS
 }
@@ -230,7 +230,7 @@ fn cmd_compare(path: &str, args: &[String]) -> ExitCode {
     let workload = workload_of(args);
     println!("{:<12} {:>12}", "protocol", "Mbit/s");
     for name in ProtocolRegistry::builtin_shared().names() {
-        let goodput = replay(&trace, name, workload);
+        let goodput = replay(&trace, name, &workload);
         println!("{name:<12} {:>12.2}", goodput / 1e6);
     }
     ExitCode::SUCCESS

@@ -26,7 +26,8 @@ use sensor_hints::rateadapt::protocols::registry::ProtocolRegistry;
 use sensor_hints::rateadapt::scenario::ScenarioSpec;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: scenario_run <spec.json> [--json] [--jobs N] [--validate]\n\
+const USAGE: &str =
+    "usage: scenario_run <spec.json> [--json] [--jobs N] [--validate] [--record PATH]\n\
        <spec.json>  a ScenarioSpec or FleetSpec file (schema: EXPERIMENTS.md);\n\
                     a spec with a `clients` field runs as a fleet\n\
        --json       print the full outcome as JSON instead of the\n\
@@ -35,10 +36,17 @@ const USAGE: &str = "usage: scenario_run <spec.json> [--json] [--jobs N] [--vali
                     threads (N >= 1; output is byte-identical to serial)\n\
        --validate   parse and validate the spec, then exit without\n\
                     simulating anything\n\
+       --record PATH\n\
+                    (single-link specs) also write the run's delivered-\n\
+                    packet trace to PATH — text `time_us,direction,size`\n\
+                    lines, or the compact binary form when PATH ends in\n\
+                    .bin. The file replays via a Trace workload\n\
+                    (EXPERIMENTS.md, \"Trace workloads\")\n\
 \n\
 exit codes:\n\
        0  success (the run finished, or --validate accepted the spec)\n\
-       1  environment failure (e.g. the spec file cannot be read)\n\
+       1  environment failure (e.g. the spec file cannot be read, or\n\
+          the --record file cannot be written)\n\
        2  user error (bad arguments, malformed JSON, or a spec that\n\
           fails validation)";
 
@@ -48,6 +56,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut jobs: usize = 1;
     let mut validate = false;
+    let mut record: Option<&str> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -58,6 +67,15 @@ fn main() -> ExitCode {
                     Some(Ok(n)) if n >= 1 => n,
                     _ => {
                         eprintln!("scenario_run: --jobs needs an integer >= 1\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--record" => {
+                record = match iter.next() {
+                    Some(p) if !p.is_empty() => Some(p.as_str()),
+                    _ => {
+                        eprintln!("scenario_run: --record needs an output path\n{USAGE}");
                         return ExitCode::from(2);
                     }
                 };
@@ -95,7 +113,15 @@ fn main() -> ExitCode {
         Ok(spec) => spec,
         Err(single_err) => {
             match FleetSpec::from_json(&text) {
-                Ok(fleet_spec) => {
+                Ok(mut fleet_spec) => {
+                    if record.is_some() {
+                        eprintln!(
+                            "scenario_run: --record only applies to single-link specs \
+                             (a fleet run has no single delivered-packet schedule)\n{USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                    rebase_fleet_traces(path, &mut fleet_spec);
                     if validate {
                         return validate_fleet(path, &fleet_spec);
                     }
@@ -115,6 +141,13 @@ fn main() -> ExitCode {
             }
         }
     };
+    // A relative trace-workload path resolves against the spec file's
+    // directory (matching `ScenarioSpec::load`), so specs run from any
+    // working directory.
+    let mut spec = spec;
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        spec.workload.rebase(dir);
+    }
     if validate {
         // Validation only (cheap: no trace generation, no simulation).
         return match spec.validate(ProtocolRegistry::builtin_shared()) {
@@ -135,7 +168,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = scenario.run();
+    let (outcome, recorded) = match record {
+        None => (scenario.run(), None),
+        Some(out_path) => {
+            // Recording is observation-only: the outcome is identical to
+            // an unrecorded run of the same spec.
+            let (outcome, trace) = scenario.run_recording();
+            if let Err(e) = trace.save(std::path::Path::new(out_path)) {
+                eprintln!("scenario_run: cannot write trace {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            (outcome, Some((out_path, trace)))
+        }
+    };
 
     if json {
         println!("{}", outcome.to_json_pretty());
@@ -145,9 +190,16 @@ fn main() -> ExitCode {
     println!("scenario    : {path}");
     println!("environment : {}", outcome.environment);
     println!("protocol    : {}", outcome.protocol);
-    println!("workload    : {:?}", spec.workload);
+    println!("workload    : {}", spec.workload.summary());
     println!("duration    : {}", spec.duration);
     println!("seed        : {}", spec.seed);
+    if let Some((out_path, trace)) = &recorded {
+        println!(
+            "recorded    : {out_path} ({} packets; replay with a \
+             {{\"Trace\":{{\"Path\":...}}}} workload)",
+            trace.len()
+        );
+    }
     println!();
     let r = &outcome.result;
     println!("goodput     : {:.2} Mbit/s", outcome.goodput_mbps());
@@ -183,6 +235,16 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Rebase each client's relative trace-workload path against the spec
+/// file's directory (matching `FleetSpec::load`).
+fn rebase_fleet_traces(path: &str, spec: &mut FleetSpec) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        for client in &mut spec.clients {
+            client.workload.rebase(dir);
+        }
+    }
 }
 
 /// Validate an already-parsed fleet spec without compiling or running

@@ -37,7 +37,7 @@ fn saved_trace_replays_identically() {
         let mut rs = RapidSample::new();
         LinkSimulator::new(t)
             .with_hints(&hints)
-            .run(&mut rs, Workload::Udp)
+            .run(&mut rs, &Workload::Udp)
     };
     let a = run(&trace);
     let b = run(&loaded);
@@ -56,7 +56,7 @@ fn full_pipeline_is_deterministic() {
         let mut rs = RapidSample::new();
         LinkSimulator::new(&trace)
             .with_hints(&hints)
-            .run(&mut rs, Workload::tcp())
+            .run(&mut rs, &Workload::tcp())
             .goodput_bps
     };
     assert_eq!(run(), run());
