@@ -105,6 +105,22 @@ fn bench_link_sim(c: &mut Criterion) {
         });
     });
 
+    // The closed-loop flow over a wired backhaul: window fill, drop-tail
+    // queueing, RTT estimation and Reno's ack/loss/timeout reactions on
+    // top of the same per-packet air model the TCP entry exercises.
+    c.bench_function("sim/flow_10s_trace", |b| {
+        let wire = hint_cc::BackhaulSpec::default();
+        b.iter(|| {
+            let mut a = HintAware::new();
+            black_box(
+                LinkSimulator::new(&trace)
+                    .with_hints(&hints)
+                    .with_backhaul(wire)
+                    .run(&mut a, &Workload::flow()),
+            )
+        });
+    });
+
     // Replay a recorded packet schedule over the same 10 s channel: the
     // trace-workload hot path — per-record scheduling, per-size airtime —
     // at the same scale as the UDP/TCP entries above. The recording is

@@ -14,6 +14,7 @@
 //! what factor, and where crossovers fall*.
 
 pub mod ablations;
+pub mod backhaul;
 pub mod contention;
 pub mod etx_overhead;
 pub mod extensions;

@@ -13,7 +13,9 @@
 
 use crate::report::Report;
 use crate::table_5_1;
-use crate::{ablations, contention, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1};
+use crate::{
+    ablations, backhaul, contention, etx_overhead, extensions, fig_2_2, fig_3_1, fig_3_x, fig_4_1,
+};
 use crate::{
     fig_4_2_4_3, fig_4_4_4_5, fig_4_6, fig_5_1, fleet, metro, resilience, route_stability,
     trace_replay,
@@ -165,6 +167,11 @@ pub fn full_battery() -> Vec<Job> {
             "fig_trace",
             "Record -> replay: a recorded packet schedule across all protocols",
             || trace_replay::report().0,
+        ),
+        Job::new(
+            "fig_backhaul",
+            "Closed-loop flows: hint advantage, air-bound vs wire-bound",
+            || backhaul::report().0,
         ),
         Job::new(
             "ablation_delta_success",
@@ -434,7 +441,7 @@ mod tests {
 
     #[test]
     fn batteries_have_expected_sizes() {
-        assert_eq!(full_battery().len(), 26);
+        assert_eq!(full_battery().len(), 27);
         assert_eq!(smoke_battery().len(), 9);
     }
 
@@ -461,7 +468,7 @@ mod tests {
             names,
             ["fig_3_1", "fig_3_5", "fig_3_6", "fig_3_7", "fig_3_8"]
         );
-        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 26);
+        assert_eq!(select_jobs(full_battery(), None).unwrap().len(), 27);
     }
 
     #[test]
@@ -478,7 +485,7 @@ mod tests {
     #[test]
     fn battery_index_lists_every_name_and_description() {
         let index = battery_index(&full_battery());
-        assert_eq!(index.lines().count(), 26);
+        assert_eq!(index.lines().count(), 27);
         // Aligned two-column format: name, padding, description.
         let width = full_battery().iter().map(|j| j.name().len()).max().unwrap();
         for (line, job) in index.lines().zip(full_battery()) {

@@ -1,0 +1,36 @@
+//! # hint-cc — closed-loop flow layer
+//!
+//! The repo's original traffic models are open-loop: `run_tcp` is a
+//! window heuristic that never sees a queue, and the wireless hop is the
+//! only place a packet can be delayed or lost. This crate supplies the
+//! pieces of a *closed-loop* flow — the style of ns-2 and FlowForge's
+//! `LossyWindowSender` — so the bottleneck can sit on the wired backhaul
+//! behind the AP instead of on the air:
+//!
+//! * [`controller`] — the object-safe [`CongestionController`] trait plus
+//!   the two baseline controllers: [`Reno`] (slow start + AIMD) and
+//!   [`FixedWindow`] (a congestion-blind constant window).
+//! * [`registry`] — [`CcaSpec`] names a controller in serialized specs;
+//!   [`CcaRegistry`] maps names to factories, mirroring
+//!   `hint_rateadapt::ProtocolRegistry` (case-insensitive lookup,
+//!   canonical display names, actionable unknown-name errors).
+//! * [`rtt`] — Jacobson/Karels RTT estimation ([`RttEstimator`]) in
+//!   integer microseconds, feeding retransmission timeouts.
+//! * [`backhaul`] — [`BackhaulSpec`] (rate / propagation delay / queue
+//!   depth) and the deterministic FIFO [`DropTailQueue`] that models the
+//!   AP's wired uplink.
+//!
+//! Everything here is pure integer-or-f64 arithmetic on
+//! [`hint_sim::SimTime`]: no RNG, no wall clock, no I/O — the sender loop
+//! in `hint_rateadapt::LinkSimulator::run` stays byte-identical at any
+//! `--jobs` because this layer adds no draws of its own.
+
+pub mod backhaul;
+pub mod controller;
+pub mod registry;
+pub mod rtt;
+
+pub use backhaul::{BackhaulSpec, DropTailQueue};
+pub use controller::{CongestionController, FixedWindow, Reno};
+pub use registry::{CcaRegistry, CcaSpec, UnknownCcaError};
+pub use rtt::RttEstimator;

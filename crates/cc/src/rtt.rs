@@ -1,0 +1,113 @@
+//! Jacobson/Karels round-trip-time estimation.
+//!
+//! The flow sender arms a retransmission timer per in-flight packet; the
+//! timeout comes from the classic smoothed-RTT estimator (RFC 6298
+//! without the clock-granularity term — the simulator's clock is exact).
+//! All state is integer microseconds, so the estimate is bit-identical
+//! on every platform and at any `--jobs`.
+
+use hint_sim::SimDuration;
+
+/// Smoothed RTT + variance, updated per ack.
+///
+/// * First sample: `srtt = r`, `rttvar = r/2`.
+/// * Thereafter: `rttvar = (3·rttvar + |srtt − r|)/4`,
+///   `srtt = (7·srtt + r)/8`.
+/// * RTO: `srtt + 4·rttvar` (callers clamp to their `[rto_min, rto_max]`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RttEstimator {
+    srtt_us: u64,
+    rttvar_us: u64,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> RttEstimator {
+        RttEstimator::default()
+    }
+
+    /// Feed one RTT measurement.
+    pub fn observe(&mut self, rtt: SimDuration) {
+        let r = rtt.as_micros();
+        if self.samples == 0 {
+            self.srtt_us = r;
+            self.rttvar_us = r / 2;
+        } else {
+            let dev = self.srtt_us.abs_diff(r);
+            self.rttvar_us = (3 * self.rttvar_us + dev) / 4;
+            self.srtt_us = (7 * self.srtt_us + r) / 8;
+        }
+        self.samples += 1;
+    }
+
+    /// True once at least one sample has been observed.
+    pub fn has_sample(&self) -> bool {
+        self.samples > 0
+    }
+
+    /// Smoothed RTT (zero before the first sample).
+    pub fn srtt(&self) -> SimDuration {
+        SimDuration::from_micros(self.srtt_us)
+    }
+
+    /// The unclamped retransmission timeout `srtt + 4·rttvar`. Callers
+    /// clamp to their configured `[rto_min, rto_max]`; before the first
+    /// sample this is zero, so the clamp's lower bound is what arms the
+    /// initial timer.
+    pub fn rto(&self) -> SimDuration {
+        SimDuration::from_micros(self.srtt_us.saturating_add(4 * self.rttvar_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_srtt_and_var() {
+        let mut e = RttEstimator::new();
+        assert!(!e.has_sample());
+        assert!(e.rto().is_zero());
+        e.observe(SimDuration::from_millis(100));
+        assert!(e.has_sample());
+        assert_eq!(e.srtt(), SimDuration::from_millis(100));
+        // rto = srtt + 4 * (srtt/2) = 3 * srtt
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_rtt_converges_to_tight_rto() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.observe(SimDuration::from_millis(50));
+        }
+        assert_eq!(e.srtt(), SimDuration::from_millis(50));
+        // Variance decays toward zero on a constant path.
+        assert!(e.rto() < SimDuration::from_millis(60), "rto = {}", e.rto());
+    }
+
+    #[test]
+    fn jitter_widens_the_timeout() {
+        let mut steady = RttEstimator::new();
+        let mut jittery = RttEstimator::new();
+        for i in 0..50u64 {
+            steady.observe(SimDuration::from_millis(50));
+            let r = if i % 2 == 0 { 20 } else { 80 };
+            jittery.observe(SimDuration::from_millis(r));
+        }
+        assert!(jittery.rto() > steady.rto());
+    }
+
+    #[test]
+    fn estimator_is_deterministic() {
+        let mut a = RttEstimator::new();
+        let mut b = RttEstimator::new();
+        for i in 0..200u64 {
+            let r = SimDuration::from_micros(1000 + (i * 37) % 5000);
+            a.observe(r);
+            b.observe(r);
+        }
+        assert_eq!(a, b);
+    }
+}

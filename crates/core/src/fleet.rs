@@ -488,6 +488,7 @@ fn merge_span(merged: &mut SimResult, from: SimTime, result: &SimResult) {
     for (u, &n) in merged.rate_usage.iter_mut().zip(result.rate_usage.iter()) {
         *u += n;
     }
+    merged.backhaul_dropped += result.backhaul_dropped;
     let offset_s = (from.as_micros() / 1_000_000) as usize;
     for (s, &n) in result.delivered_per_second.iter().enumerate() {
         if let Some(slot) = merged.delivered_per_second.get_mut(offset_s + s) {
@@ -1110,6 +1111,7 @@ impl FleetScenario {
                 duration,
                 rate_usage: [0; BitRate::COUNT],
                 delivered_per_second: vec![0; duration.as_secs_f64().ceil() as usize],
+                backhaul_dropped: 0,
             })
             .collect();
 
@@ -1248,6 +1250,13 @@ impl FleetScenario {
         let mut sim = LinkSimulator::from_trace(trace).with_payload(self.spec.payload_bytes);
         if let Some(stream) = self.span_hints(&span_profile, span, span_seed) {
             sim = sim.with_owned_hints(stream);
+        }
+        // The span's AP brings its wired backhaul (if the spec gave it
+        // one): a Flow workload's connection state — window, RTT
+        // estimate, queue occupancy — resets at each association span,
+        // modelling a fresh flow per association.
+        if let Some(backhaul) = ap.backhaul {
+            sim = sim.with_backhaul(backhaul);
         }
         if self.contention == ContentionMode::Shared {
             // Trace second s of the span runs at the share the arbiter

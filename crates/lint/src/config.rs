@@ -42,7 +42,7 @@ fn strings(v: &[&str]) -> Vec<String> {
 impl Config {
     /// The shipped workspace policy.
     ///
-    /// * DET001 covers the nine engine crates **plus** `hint-bench` and
+    /// * DET001 covers the ten engine crates **plus** `hint-bench` and
     ///   the root binaries: battery stdout is `cmp`-pinned across
     ///   `--jobs`, so report-path iteration order is as load-bearing as
     ///   engine state.
@@ -59,6 +59,7 @@ impl Config {
             "crates/core/src",
             "crates/sensors/src",
             "crates/channel/src",
+            "crates/cc/src",
             "crates/mac/src",
             "crates/rateadapt/src",
             "crates/topology/src",

@@ -27,6 +27,7 @@ use crate::scenario::{
     EnvironmentSpec, HintSpec, MotionSpec, ProtocolSpec, ScenarioError, ScenarioOutcome,
 };
 use crate::workload::Workload;
+use hint_cc::BackhaulSpec;
 use hint_sim::{SimDuration, SimTime};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io;
@@ -55,7 +56,11 @@ impl FleetBounds {
 }
 
 /// One access point's placement and usable coverage radius.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serialized with `backhaul` sparse (omitted when `None`), so every
+/// pre-backhaul spec file and golden outcome stays byte-identical; see
+/// the hand-rolled impls below [`MediumSpec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ApPlacement {
     /// Metres east of the origin.
     pub x_m: f64,
@@ -64,6 +69,11 @@ pub struct ApPlacement {
     /// Usable coverage radius, metres (association beyond it is
     /// impossible; link quality degrades toward it).
     pub coverage_m: f64,
+    /// The AP's wired backhaul (rate / delay / queue depth). `None` —
+    /// the default — is an ideal wire, the pre-backhaul behaviour; only
+    /// `Workload::Flow` clients ever cross a configured backhaul (see
+    /// [`crate::sim::LinkSimulator::with_backhaul`]).
+    pub backhaul: Option<BackhaulSpec>,
 }
 
 /// One client's script: where it starts and how it moves and loads the
@@ -333,6 +343,39 @@ impl Deserialize for MediumSpec {
 impl Default for MediumSpec {
     fn default() -> Self {
         MediumSpec::isolated()
+    }
+}
+
+// ApPlacement's `backhaul` field is sparse for the same reason as the
+// optional FleetSpec fields: pre-backhaul spec files and goldens pin the
+// exact byte stream, so the key may only appear when a wire is actually
+// configured.
+impl Serialize for ApPlacement {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("x_m".to_string(), self.x_m.to_value()),
+            ("y_m".to_string(), self.y_m.to_value()),
+            ("coverage_m".to_string(), self.coverage_m.to_value()),
+        ];
+        if let Some(b) = &self.backhaul {
+            fields.push(("backhaul".to_string(), b.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ApPlacement {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = as_object(v, "ApPlacement")?;
+        Ok(ApPlacement {
+            x_m: Deserialize::from_value(req(fields, "x_m", "ApPlacement")?)?,
+            y_m: Deserialize::from_value(req(fields, "y_m", "ApPlacement")?)?,
+            coverage_m: Deserialize::from_value(req(fields, "coverage_m", "ApPlacement")?)?,
+            backhaul: match fields.iter().find(|(k, _)| k == "backhaul") {
+                Some((_, v)) => Some(Deserialize::from_value(v)?),
+                None => None,
+            },
+        })
     }
 }
 
@@ -903,6 +946,11 @@ impl FleetSpec {
                     ap.coverage_m
                 ));
             }
+            if let Some(b) = &ap.backhaul {
+                if let Err(e) = b.validate() {
+                    return bad(format!("AP {i}: {e}"));
+                }
+            }
         }
         for (i, client) in self.clients.iter().enumerate() {
             if !self.bounds.contains(client.start_x_m, client.start_y_m) {
@@ -1060,6 +1108,25 @@ impl FleetBuilder {
             x_m,
             y_m,
             coverage_m,
+            backhaul: None,
+        });
+        self
+    }
+
+    /// Add an AP at `(x, y)` with the given coverage radius and a wired
+    /// backhaul behind it.
+    pub fn ap_with_backhaul(
+        mut self,
+        x_m: f64,
+        y_m: f64,
+        coverage_m: f64,
+        backhaul: BackhaulSpec,
+    ) -> Self {
+        self.spec.aps.push(ApPlacement {
+            x_m,
+            y_m,
+            coverage_m,
+            backhaul: Some(backhaul),
         });
         self
     }
@@ -1572,6 +1639,7 @@ mod tests {
                     duration: SimDuration::from_secs(1),
                     rate_usage: [0; hint_mac::BitRate::COUNT],
                     delivered_per_second: vec![9],
+                    backhaul_dropped: 0,
                 },
             },
         };

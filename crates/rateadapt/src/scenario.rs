@@ -50,7 +50,7 @@ use crate::workload::Workload;
 use hint_channel::{Environment, Trace};
 use hint_sensors::motion::{MotionProfile, MotionSegment};
 use hint_sim::SimDuration;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::io;
 use std::path::Path;
@@ -315,7 +315,7 @@ impl Default for ProtocolSpec {
 /// All durations serialize as **integer microseconds** (the workspace's
 /// native clock). See `EXPERIMENTS.md` for the JSON schema and the
 /// `scenario_run` CLI that executes spec files.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     /// Channel environment.
     pub environment: EnvironmentSpec,
@@ -334,6 +334,64 @@ pub struct ScenarioSpec {
     pub hints: HintSpec,
     /// Link payload size, bytes.
     pub payload_bytes: u32,
+    /// The AP's wired backhaul (rate / delay / queue depth). `None` —
+    /// the default — is an ideal wire, the pre-backhaul behaviour; only
+    /// a [`Workload::Flow`] ever crosses a configured backhaul (see
+    /// [`LinkSimulator::with_backhaul`]).
+    pub backhaul: Option<hint_cc::BackhaulSpec>,
+}
+
+// Hand-rolled for the same reason as `MediumSpec` (see `crate::fleet`):
+// the serde shim's derive cannot skip a `None` field, and `backhaul`
+// must be sparse so every pre-backhaul spec file and golden stays
+// byte-identical.
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("environment".to_string(), self.environment.to_value()),
+            ("motion".to_string(), self.motion.to_value()),
+            ("duration".to_string(), self.duration.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+            ("hints".to_string(), self.hints.to_value()),
+            ("payload_bytes".to_string(), self.payload_bytes.to_value()),
+        ];
+        if let Some(b) = &self.backhaul {
+            fields.push(("backhaul".to_string(), b.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = match v {
+            Value::Object(fields) => fields,
+            other => return Err(DeError::expected("ScenarioSpec", other)),
+        };
+        let req = |name: &str| -> Result<&Value, DeError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::msg(format!("missing field `{name}` in ScenarioSpec")))
+        };
+        Ok(ScenarioSpec {
+            environment: Deserialize::from_value(req("environment")?)?,
+            motion: Deserialize::from_value(req("motion")?)?,
+            duration: Deserialize::from_value(req("duration")?)?,
+            seed: Deserialize::from_value(req("seed")?)?,
+            workload: Deserialize::from_value(req("workload")?)?,
+            protocol: Deserialize::from_value(req("protocol")?)?,
+            hints: Deserialize::from_value(req("hints")?)?,
+            payload_bytes: Deserialize::from_value(req("payload_bytes")?)?,
+            backhaul: match fields.iter().find(|(k, _)| k == "backhaul") {
+                Some((_, v)) => Some(Deserialize::from_value(v)?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl Default for ScenarioSpec {
@@ -347,6 +405,7 @@ impl Default for ScenarioSpec {
             protocol: ProtocolSpec::default(),
             hints: HintSpec::None,
             payload_bytes: 1000,
+            backhaul: None,
         }
     }
 }
@@ -389,6 +448,9 @@ impl ScenarioSpec {
         if let Some(hints) = self.hints.stream(&profile, self.duration, self.seed) {
             sim = sim.with_owned_hints(hints);
         }
+        if let Some(backhaul) = self.backhaul {
+            sim = sim.with_backhaul(backhaul);
+        }
         Ok(Scenario {
             spec: self.clone(),
             workload,
@@ -411,6 +473,9 @@ impl ScenarioSpec {
         self.workload
             .validate()
             .map_err(ScenarioError::BadWorkload)?;
+        if let Some(b) = &self.backhaul {
+            b.validate().map_err(ScenarioError::BadBackhaul)?;
+        }
         if !registry.contains(&self.protocol.name) {
             let e = registry.unknown(&self.protocol.name);
             return Err(ScenarioError::UnknownProtocol {
@@ -499,6 +564,9 @@ pub enum ScenarioError {
         /// The names the registry does know.
         known: Vec<String>,
     },
+    /// The backhaul spec is degenerate (a zero-rate wire or a
+    /// zero-capacity queue; message says which and why).
+    BadBackhaul(String),
     /// A fleet spec is malformed (message says which field and why —
     /// empty client/AP lists, placement outside the environment bounds,
     /// bad handoff cadence, and so on; see [`crate::fleet::FleetSpec`]).
@@ -519,6 +587,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::ZeroPayload => write!(f, "payload size must be positive"),
             ScenarioError::BadMotion(msg) => write!(f, "invalid motion spec: {msg}"),
             ScenarioError::BadWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            ScenarioError::BadBackhaul(msg) => write!(f, "invalid backhaul: {msg}"),
             ScenarioError::UnknownProtocol { name, known } => write!(
                 f,
                 "unknown protocol `{name}` (registered: {})",
@@ -600,6 +669,14 @@ impl ScenarioBuilder {
     /// Select the traffic workload.
     pub fn workload(mut self, workload: Workload) -> Self {
         self.spec.workload = workload;
+        self
+    }
+
+    /// Put a wired backhaul between the sender and the radio link.
+    /// Only closed-loop ([`Workload::Flow`]) traffic crosses the wire;
+    /// open-loop workloads ignore it.
+    pub fn backhaul(mut self, backhaul: hint_cc::BackhaulSpec) -> Self {
+        self.spec.backhaul = Some(backhaul);
         self
     }
 

@@ -18,13 +18,15 @@
 use crate::hintstream::HintStream;
 use crate::protocols::RateAdapter;
 use crate::trace::{Direction, PacketRecord, PacketTrace};
-use crate::workload::{TcpConfig, TraceSource, Workload};
+use crate::workload::{FlowConfig, TcpConfig, TraceSource, Workload};
+use hint_cc::{BackhaulSpec, CcaRegistry, DropTailQueue, RttEstimator};
 use hint_channel::Trace;
 use hint_mac::{BitRate, MacTiming};
 use hint_sim::{RngStream, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::borrow::Cow;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 
 /// Standard deviation of per-packet SNR measurement noise, dB.
 pub const SNR_MEASUREMENT_NOISE_DB: f64 = 2.0;
@@ -39,7 +41,7 @@ pub const MIN_AIRTIME_SHARE: f64 = 1.0 / 64.0;
 ///
 /// Serializable so scenario outcomes are storable artifacts (see
 /// [`crate::scenario::ScenarioOutcome`]).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimResult {
     /// Packets handed to the link (TCP: segments; UDP: datagrams).
     pub packets_sent: u64,
@@ -56,6 +58,73 @@ pub struct SimResult {
     /// Delivered-packet count bucketed per second (time series for the
     /// Fig. 5-1-style plots).
     pub delivered_per_second: Vec<u64>,
+    /// Packets dropped at the wired backhaul's drop-tail queue. Always
+    /// zero without a backhaul (and for the open-loop workloads, which
+    /// never enter the wire) — and omitted from the serialized form in
+    /// that case, so every pre-backhaul outcome stays byte-identical.
+    pub backhaul_dropped: u64,
+}
+
+// The serde shim's derive has no `#[serde(skip_serializing_if)]` /
+// `#[serde(default)]`, and `backhaul_dropped` must be sparse: golden
+// outcome files predating the backhaul pin the exact byte stream, so the
+// field may only appear when a backhaul actually dropped packets. These
+// impls hand-roll the derive's field order plus that one sparse tail
+// field.
+impl Serialize for SimResult {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("packets_sent".to_string(), self.packets_sent.to_value()),
+            (
+                "packets_delivered".to_string(),
+                self.packets_delivered.to_value(),
+            ),
+            ("attempts".to_string(), self.attempts.to_value()),
+            ("goodput_bps".to_string(), self.goodput_bps.to_value()),
+            ("duration".to_string(), self.duration.to_value()),
+            ("rate_usage".to_string(), self.rate_usage.to_value()),
+            (
+                "delivered_per_second".to_string(),
+                self.delivered_per_second.to_value(),
+            ),
+        ];
+        if self.backhaul_dropped != 0 {
+            fields.push((
+                "backhaul_dropped".to_string(),
+                self.backhaul_dropped.to_value(),
+            ));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for SimResult {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = match v {
+            Value::Object(fields) => fields,
+            other => return Err(DeError::expected("SimResult", other)),
+        };
+        let req = |name: &str| -> Result<&Value, DeError> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::msg(format!("missing field `{name}` in SimResult")))
+        };
+        Ok(SimResult {
+            packets_sent: Deserialize::from_value(req("packets_sent")?)?,
+            packets_delivered: Deserialize::from_value(req("packets_delivered")?)?,
+            attempts: Deserialize::from_value(req("attempts")?)?,
+            goodput_bps: Deserialize::from_value(req("goodput_bps")?)?,
+            duration: Deserialize::from_value(req("duration")?)?,
+            rate_usage: Deserialize::from_value(req("rate_usage")?)?,
+            delivered_per_second: Deserialize::from_value(req("delivered_per_second")?)?,
+            backhaul_dropped: match fields.iter().find(|(k, _)| k == "backhaul_dropped") {
+                Some((_, v)) => Deserialize::from_value(v)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 impl SimResult {
@@ -101,6 +170,10 @@ pub struct LinkSimulator<'a> {
     /// is the uncontended sender, byte-identical to the pre-contention
     /// simulator.
     airtime_shares: Option<Vec<f64>>,
+    /// The AP's wired backhaul (see [`LinkSimulator::with_backhaul`]);
+    /// `None` — the default — is an ideal wire: infinite rate, zero
+    /// delay, no queue, exactly the pre-backhaul behaviour.
+    backhaul: Option<BackhaulSpec>,
 }
 
 impl<'a> LinkSimulator<'a> {
@@ -129,6 +202,7 @@ impl<'a> LinkSimulator<'a> {
             hints: None,
             noise_rng,
             airtime_shares: None,
+            backhaul: None,
         }
     }
 
@@ -177,6 +251,21 @@ impl<'a> LinkSimulator<'a> {
                 })
                 .collect(),
         );
+        self
+    }
+
+    /// Put a wired backhaul with a finite drop-tail queue behind the AP.
+    ///
+    /// Only [`Workload::Flow`] traffic crosses the wire: each flow
+    /// packet serialises onto the backhaul at `rate_bps` (queueing
+    /// behind earlier packets, dropped on a full queue of `queue_pkts`),
+    /// crosses in `delay`, and only then contends for the air; acks pay
+    /// `delay` again on the way back. The open-loop workloads
+    /// (UDP/TCP/Trace) model the wireless hop in isolation and ignore
+    /// the backhaul entirely, which is what keeps every pre-backhaul
+    /// scenario byte-identical.
+    pub fn with_backhaul(mut self, backhaul: BackhaulSpec) -> Self {
+        self.backhaul = Some(backhaul);
         self
     }
 
@@ -239,6 +328,7 @@ impl<'a> LinkSimulator<'a> {
         match workload {
             Workload::Udp => self.run_udp(adapter, rec),
             Workload::Tcp(cfg) => self.run_tcp(adapter, *cfg, rec),
+            Workload::Flow(cfg) => self.run_flow(adapter, cfg, rec),
             Workload::Trace(TraceSource::Inline(t)) => self.run_trace(adapter, t, rec),
             Workload::Trace(TraceSource::Path(p)) => {
                 // Programmer error, not a spec error: every spec path
@@ -375,6 +465,7 @@ impl<'a> LinkSimulator<'a> {
             duration,
             rate_usage: usage,
             delivered_per_second: per_second,
+            backhaul_dropped: 0,
         }
     }
 
@@ -401,6 +492,11 @@ impl<'a> LinkSimulator<'a> {
         // direct-API degenerate config cannot loop without advancing
         // time (identity for every valid config).
         let link_attempts = cfg.link_attempts.max(1);
+        // How many RTO doublings fit under rto_max (see the TcpConfig
+        // rustdoc): derived from the configured pair instead of the old
+        // hard-coded 16x cap, which silently truncated the curve
+        // whenever rto_max > 16 * rto.
+        let backoff_shift_cap = cfg.backoff_shift_cap();
 
         while now < end {
             self.feedback(adapter, now);
@@ -460,9 +556,9 @@ impl<'a> LinkSimulator<'a> {
                     // Sustained blackout ⇒ retransmission timeout with
                     // exponential backoff ("TCP times out when faced with
                     // the high loss rate of the mobile case").
-                    let backoff = 1u64 << (consecutive_drops - 3).min(4);
+                    let backoff = 1u64 << (consecutive_drops - 3).min(backoff_shift_cap);
                     let rto = SimDuration::from_micros(
-                        (cfg.rto.as_micros() * backoff).min(cfg.rto_max.as_micros()),
+                        (cfg.rto.as_micros().saturating_mul(backoff)).min(cfg.rto_max.as_micros()),
                     );
                     now += rto;
                     cwnd = 1.0;
@@ -494,6 +590,7 @@ impl<'a> LinkSimulator<'a> {
             duration,
             rate_usage: usage,
             delivered_per_second: per_second,
+            backhaul_dropped: 0,
         }
     }
 
@@ -561,6 +658,215 @@ impl<'a> LinkSimulator<'a> {
             duration,
             rate_usage: usage,
             delivered_per_second: per_second,
+            backhaul_dropped: 0,
+        }
+    }
+
+    /// The closed-loop flow sender (`LossyWindowSender` style).
+    ///
+    /// A window of packets is kept in flight end-to-end: each packet
+    /// crosses the wired backhaul (serialisation + drop-tail queue +
+    /// propagation, when [`LinkSimulator::with_backhaul`] configured
+    /// one), then contends for the air under the same multi-rate-retry
+    /// chain as the TCP model, and its ack pays the wire's propagation
+    /// delay back. The congestion window is owned by the pluggable
+    /// controller named in the config; RTTs feed a Jacobson estimator
+    /// whose timeout (clamped to `[rto_min, rto_max]`, doubling per
+    /// consecutive timeout) bounds how long a lost head-of-window packet
+    /// stalls the flow. Losses surfaced by later acks are charged as
+    /// fast-retransmit-style loss events instead.
+    ///
+    /// Accounting matches the other workloads: deliveries bucket into
+    /// `delivered_per_second` by **send-start** second (always inside
+    /// the trace), so the series sums to `packets_delivered` even when a
+    /// retry chain or ack crosses the trace end. Every packet's fate is
+    /// forward-computed at its send time, in send order — the only RNG
+    /// the flow path touches is the shared per-attempt noise stream, in
+    /// exactly the per-packet order the open-loop workloads use, so flow
+    /// runs stay byte-identical at any `--jobs`.
+    fn run_flow(
+        &self,
+        adapter: &mut dyn RateAdapter,
+        cfg: &FlowConfig,
+        mut rec: Option<&mut Vec<PacketRecord>>,
+    ) -> SimResult {
+        let end = SimTime::ZERO + self.trace.duration();
+        let mut sent = 0u64;
+        let mut delivered = 0u64;
+        let mut attempts_total = 0u64;
+        let mut dropped = 0u64;
+        let mut usage = [0u64; BitRate::COUNT];
+        let mut per_second = vec![0u64; self.trace.duration().as_secs_f64().ceil() as usize];
+
+        let mut cc = match CcaRegistry::builtin_shared().try_build(&cfg.cca) {
+            Ok(cc) => cc,
+            // Programmer error, not a spec error: FlowConfig::validate —
+            // which spec compilation always runs — rejects unknown CCA
+            // names with the registry's actionable message.
+            Err(e) => panic!("{e}; validate the FlowConfig before running (spec compilation does)"),
+        };
+        let mut rtt_est = RttEstimator::new();
+        let mut queue = self.backhaul.map(|b| DropTailQueue::new(b.queue_pkts));
+        let wire_delay = self.backhaul.map_or(SimDuration::ZERO, |b| b.delay);
+        // Spec validation rejects link_attempts == 0; clamp anyway so a
+        // direct-API degenerate config cannot loop without advancing
+        // time (identity for every valid config).
+        let link_attempts = cfg.link_attempts.max(1);
+
+        /// One in-flight packet: when it left the sender, and when its
+        /// ack arrives (`None` = lost on the wire or in the air).
+        struct InFlight {
+            sent_at: SimTime,
+            ack_at: Option<SimTime>,
+        }
+        let mut flight: VecDeque<InFlight> = VecDeque::new();
+
+        // Sender clock (send decisions) and the time the wireless hop is
+        // next free (air serialisation).
+        let mut now = SimTime::ZERO;
+        let mut air_free = SimTime::ZERO;
+        // Consecutive-timeout doublings of the estimator's RTO.
+        let mut rto_shift = 0u32;
+        let rto_current = |est: &RttEstimator, shift: u32| -> SimDuration {
+            let base = est
+                .rto()
+                .as_micros()
+                .clamp(cfg.rto_min.as_micros(), cfg.rto_max.as_micros());
+            SimDuration::from_micros(
+                base.saturating_mul(1u64 << shift.min(32))
+                    .min(cfg.rto_max.as_micros()),
+            )
+        };
+
+        loop {
+            // Fill the congestion window (floored at one packet so the
+            // flow always probes). Sending is instantaneous at the
+            // sender; each packet's fate through wire and air is
+            // forward-computed here, in send order.
+            let window = cc.window().max(1.0);
+            while now < end && (flight.len() as f64) < window {
+                sent += 1;
+                let sent_at = now;
+                // Wired segment: serialise through the drop-tail queue.
+                let air_arrival = match (&mut queue, self.backhaul) {
+                    (Some(q), Some(b)) => match q.offer(sent_at, b.tx_time(self.payload_bytes)) {
+                        Some(departure) => Some(departure + wire_delay),
+                        None => {
+                            dropped += 1;
+                            None
+                        }
+                    },
+                    _ => Some(sent_at),
+                };
+                // Air segment: the TCP model's multi-rate-retry chain.
+                let mut ack_at = None;
+                if let Some(arrival) = air_arrival {
+                    let air_start = arrival.max(air_free);
+                    // The channel trace may end before a queued packet
+                    // reaches the air: it is never attempted (and never
+                    // acked), exactly as the open-loop models stop at
+                    // `end`.
+                    if air_start < end {
+                        self.feedback(adapter, air_start);
+                        let mut t = air_start;
+                        let mut first_rate_idx = None;
+                        for k in 0..link_attempts {
+                            let cap = first_rate_idx.map(|r0: usize| r0.saturating_sub(k as usize));
+                            let (a_ok, done, rate) = self.attempt(adapter, t, &mut usage, cap);
+                            if first_rate_idx.is_none() {
+                                first_rate_idx = Some(rate.index());
+                            }
+                            attempts_total += 1;
+                            t = done;
+                            if a_ok {
+                                ack_at = Some(t + wire_delay);
+                                break;
+                            }
+                            if t >= end {
+                                break;
+                            }
+                        }
+                        air_free = t;
+                    }
+                }
+                if ack_at.is_some() {
+                    delivered += 1;
+                    // Bucket by send-start second, as every workload
+                    // does: the send is always inside the trace even
+                    // when the ack lands past `end`.
+                    let sec = (sent_at.as_micros() / 1_000_000) as usize;
+                    if sec < per_second.len() {
+                        per_second[sec] += 1;
+                    }
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.push(PacketRecord {
+                            time_us: sent_at.as_micros(),
+                            direction: Direction::Send,
+                            size: self.payload_bytes,
+                        });
+                    }
+                }
+                flight.push_back(InFlight { sent_at, ack_at });
+            }
+
+            // Retire the head of the window.
+            let Some(head) = flight.front() else {
+                // Window empty with nothing left to send: the trace is
+                // over (the fill loop always emits while `now < end`).
+                break;
+            };
+            match head.ack_at {
+                Some(ack_at) => {
+                    let rtt = ack_at.saturating_since(head.sent_at);
+                    if ack_at > now {
+                        now = ack_at;
+                    }
+                    flight.pop_front();
+                    rtt_est.observe(rtt);
+                    cc.on_ack(now, rtt);
+                    rto_shift = 0;
+                }
+                None => {
+                    // Lost. If a later in-flight packet will be acked
+                    // before the head's timer fires, that ack surfaces
+                    // the hole (dup-ack analog): a loss event, window
+                    // halving, pipe keeps moving. Otherwise the timer
+                    // fires: a timeout event, window collapse, doubled
+                    // timer for the next head.
+                    let timeout_at = head.sent_at + rto_current(&rtt_est, rto_shift);
+                    let next_ack = flight.iter().filter_map(|p| p.ack_at).min();
+                    match next_ack {
+                        Some(ack_at) if ack_at <= timeout_at => {
+                            if ack_at > now {
+                                now = ack_at;
+                            }
+                            flight.pop_front();
+                            cc.on_loss(now);
+                        }
+                        _ => {
+                            if timeout_at > now {
+                                now = timeout_at;
+                            }
+                            flight.pop_front();
+                            cc.on_timeout(now);
+                            rto_shift = (rto_shift + 1).min(32);
+                        }
+                    }
+                }
+            }
+        }
+
+        let duration = self.trace.duration();
+        SimResult {
+            packets_sent: sent,
+            packets_delivered: delivered,
+            attempts: attempts_total,
+            goodput_bps: delivered as f64 * f64::from(self.payload_bytes) * 8.0
+                / duration.as_secs_f64(),
+            duration,
+            rate_usage: usage,
+            delivered_per_second: per_second,
+            backhaul_dropped: dropped,
         }
     }
 }
@@ -569,6 +875,7 @@ impl<'a> LinkSimulator<'a> {
 mod tests {
     use super::*;
     use crate::protocols::{RapidSample, RateAdapter, SampleRate};
+    use hint_cc::CcaSpec;
     use hint_channel::Environment;
     use hint_sensors::MotionProfile;
     use hint_sim::SimDuration;
@@ -823,5 +1130,176 @@ mod tests {
         assert_eq!(res.delivered_per_second.len(), 2);
         let sum: u64 = res.delivered_per_second.iter().sum();
         assert_eq!(sum, res.packets_delivered);
+    }
+
+    /// A fractional trace duration for the partial-final-second
+    /// regression family: every workload must bucket deliveries by
+    /// send-start second so nothing vanishes past `end`.
+    fn fractional_trace(seed: u64) -> Trace {
+        let d = SimDuration::from_millis(2500);
+        let p = MotionProfile::walking(d, 1.4, 0.0);
+        Trace::generate(&Environment::office(), &p, d, seed)
+    }
+
+    #[test]
+    fn udp_per_second_series_sums_to_delivered_on_partial_final_second() {
+        let t = fractional_trace(15);
+        let mut rs = RapidSample::new();
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::Udp);
+        assert_eq!(res.delivered_per_second.len(), 3);
+        let sum: u64 = res.delivered_per_second.iter().sum();
+        assert_eq!(sum, res.packets_delivered);
+        assert!(res.packets_delivered > 0);
+    }
+
+    #[test]
+    fn trace_per_second_series_sums_to_delivered_on_partial_final_second() {
+        let t = fractional_trace(16);
+        let mut rs = RapidSample::new();
+        let (_, recorded) = LinkSimulator::new(&t).run_recording(&mut rs, &Workload::Udp);
+        let mut replayer = RapidSample::new();
+        let res = LinkSimulator::new(&t).run(&mut replayer, &Workload::trace(recorded));
+        assert_eq!(res.delivered_per_second.len(), 3);
+        let sum: u64 = res.delivered_per_second.iter().sum();
+        assert_eq!(sum, res.packets_delivered);
+        assert!(res.packets_delivered > 0);
+    }
+
+    #[test]
+    fn flow_per_second_series_sums_to_delivered_on_partial_final_second() {
+        let t = fractional_trace(17);
+        let mut rs = RapidSample::new();
+        let res = LinkSimulator::new(&t)
+            .with_backhaul(BackhaulSpec::default())
+            .run(&mut rs, &Workload::flow());
+        assert_eq!(res.delivered_per_second.len(), 3);
+        let sum: u64 = res.delivered_per_second.iter().sum();
+        assert_eq!(sum, res.packets_delivered);
+        assert!(res.packets_delivered > 0);
+    }
+
+    #[test]
+    fn flow_runs_are_deterministic() {
+        let t = trace(true, 5, 18);
+        let run = || {
+            let mut rs = RapidSample::new();
+            LinkSimulator::new(&t)
+                .with_backhaul(BackhaulSpec::default())
+                .run(&mut rs, &Workload::flow())
+        };
+        assert_eq!(run(), run(), "flow runs must be byte-identical");
+    }
+
+    #[test]
+    fn flow_without_backhaul_is_air_limited() {
+        let t = trace(false, 5, 19);
+        let mut rs = RapidSample::new();
+        let res = LinkSimulator::new(&t).run(&mut rs, &Workload::flow());
+        assert!(res.packets_delivered > 0);
+        assert_eq!(res.backhaul_dropped, 0, "no wire, nothing to drop");
+        assert!(res.goodput_mbps() < 54.0);
+    }
+
+    #[test]
+    fn slow_backhaul_bottlenecks_flow_goodput() {
+        let t = trace(false, 10, 20);
+        let run = |rate_bps: u64| {
+            let mut rs = RapidSample::new();
+            LinkSimulator::new(&t)
+                .with_backhaul(BackhaulSpec {
+                    rate_bps,
+                    ..BackhaulSpec::default()
+                })
+                .run(&mut rs, &Workload::flow())
+        };
+        let fast = run(100_000_000);
+        let slow = run(1_000_000);
+        assert!(
+            slow.goodput_bps < fast.goodput_bps * 0.6,
+            "1 Mbit/s wire must bottleneck a multi-Mbit/s air link: slow {} vs fast {}",
+            slow.goodput_mbps(),
+            fast.goodput_mbps()
+        );
+        // A 1 Mbit/s wire caps goodput at 1 Mbit/s by construction.
+        assert!(slow.goodput_mbps() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn tiny_backhaul_queue_drops_and_counts() {
+        let t = trace(false, 5, 21);
+        let mut rs = RapidSample::new();
+        let res = LinkSimulator::new(&t)
+            .with_backhaul(BackhaulSpec {
+                rate_bps: 1_000_000,
+                queue_pkts: 1,
+                ..BackhaulSpec::default()
+            })
+            .run(
+                &mut rs,
+                &Workload::Flow(FlowConfig {
+                    cca: CcaSpec {
+                        name: "FixedWindow".into(),
+                        window: 64.0,
+                    },
+                    ..FlowConfig::default()
+                }),
+            );
+        assert!(
+            res.backhaul_dropped > 0,
+            "a 64-packet fixed window into a 1-slot queue must tail-drop"
+        );
+        assert!(
+            res.packets_delivered + res.backhaul_dropped <= res.packets_sent,
+            "delivered + dropped must stay within sent"
+        );
+        assert!(res.backhaul_dropped < res.packets_sent);
+    }
+
+    #[test]
+    fn reno_backs_off_where_fixed_window_overruns() {
+        // Same slow wire, small queue. Reno's loss response should shed
+        // proportionally more of its sends into the queue than a large
+        // fixed window that never backs off.
+        let t = trace(false, 10, 22);
+        let run = |cca: CcaSpec| {
+            let mut rs = RapidSample::new();
+            LinkSimulator::new(&t)
+                .with_backhaul(BackhaulSpec {
+                    rate_bps: 2_000_000,
+                    queue_pkts: 4,
+                    ..BackhaulSpec::default()
+                })
+                .run(
+                    &mut rs,
+                    &Workload::Flow(FlowConfig {
+                        cca,
+                        ..FlowConfig::default()
+                    }),
+                )
+        };
+        let reno = run(CcaSpec::default());
+        let fixed = run(CcaSpec {
+            name: "FixedWindow".into(),
+            window: 64.0,
+        });
+        let drop_rate = |r: &SimResult| r.backhaul_dropped as f64 / r.packets_sent.max(1) as f64;
+        assert!(
+            drop_rate(&reno) < drop_rate(&fixed),
+            "Reno must shed a smaller fraction to the queue: reno {:.3} vs fixed {:.3}",
+            drop_rate(&reno),
+            drop_rate(&fixed)
+        );
+        assert!(reno.packets_delivered > 0 && fixed.packets_delivered > 0);
+    }
+
+    #[test]
+    fn flow_recording_captures_delivered_sends() {
+        let t = trace(false, 5, 23);
+        let mut rs = RapidSample::new();
+        let (res, recorded) = LinkSimulator::new(&t)
+            .with_backhaul(BackhaulSpec::default())
+            .run_recording(&mut rs, &Workload::flow());
+        assert_eq!(recorded.len() as u64, res.packets_delivered);
+        assert!(recorded.validate_replayable().is_ok());
     }
 }

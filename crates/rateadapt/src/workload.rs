@@ -13,13 +13,35 @@
 //! [`PacketTrace`] — each packet offered to the link at its recorded
 //! time — from an inline record list or a trace file (see
 //! [`crate::trace`]).
+//!
+//! The fourth is the closed-loop flow ([`Workload::Flow`]): a
+//! window-based sender with acks, RTT estimation and a pluggable
+//! congestion controller from the `hint-cc` registry, built so the
+//! bottleneck can sit on an AP's wired backhaul (see
+//! [`crate::sim::LinkSimulator::with_backhaul`]) instead of the air. The
+//! open-loop [`Workload::Tcp`] model is kept byte-identical as the
+//! legacy compatibility path.
 
 use crate::trace::PacketTrace;
+use hint_cc::CcaSpec;
 use hint_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Parameters of the lightweight TCP model.
+///
+/// # Backoff curve
+///
+/// Sustained blackouts trigger retransmission timeouts with exponential
+/// backoff: after `d >= 3` consecutive segment drops the sender idles
+/// for `min(rto * 2^(d - 3), rto_max)`. The doubling therefore runs
+/// `rto, 2·rto, 4·rto, …` and **saturates exactly when it reaches
+/// `rto_max`**: the shift is clamped at the smallest exponent `s` with
+/// `rto * 2^s >= rto_max` (see [`TcpConfig::backoff_shift_cap`]), so the
+/// whole curve — including how many doublings it takes to hit the
+/// ceiling — is derived from the configured `rto`/`rto_max` pair. (An
+/// earlier revision hard-coded the clamp at 16×, which silently
+/// truncated the curve for any `rto_max > 16·rto`.)
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TcpConfig {
     /// Round-trip time budget per congestion window (LAN-scale).
@@ -89,6 +111,91 @@ impl TcpConfig {
         }
         Ok(())
     }
+
+    /// The largest RTO-backoff exponent the doubling can reach before
+    /// the `rto_max` clamp takes over: the smallest `s` with
+    /// `rto * 2^s >= rto_max` (capped at 32 doublings as an arithmetic
+    /// guard; a real config saturates long before that). Deriving the
+    /// shift cap from the configured pair — instead of a hard-coded
+    /// constant — is what keeps the backoff curve faithful for
+    /// `rto_max > 16·rto` (see the type-level docs).
+    pub fn backoff_shift_cap(&self) -> u32 {
+        let base = self.rto.as_micros().max(1);
+        let max = self.rto_max.as_micros();
+        let mut s = 0u32;
+        while s < 32 && base.saturating_mul(1u64 << s) < max {
+            s += 1;
+        }
+        s
+    }
+}
+
+/// Parameters of the closed-loop flow model ([`Workload::Flow`]).
+///
+/// Unlike [`TcpConfig`]'s open-loop heuristic, a flow sender keeps a
+/// window of packets in flight end-to-end — through the AP's wired
+/// backhaul queue when one is configured — measures per-packet RTTs
+/// from acks, infers losses from later acks, and arms Jacobson-style
+/// retransmission timers clamped to `[rto_min, rto_max]` (doubling per
+/// consecutive timeout, saturating at `rto_max`). The congestion window
+/// itself is owned by the pluggable controller named in
+/// [`FlowConfig::cca`] (see `hint_cc::CcaRegistry`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// The congestion-control algorithm, by registry name, plus its
+    /// window cap.
+    pub cca: CcaSpec,
+    /// Link-layer attempts per packet on the wireless hop before the
+    /// flow sees a loss (the multi-rate-retry chain length, as in
+    /// [`TcpConfig::link_attempts`]).
+    pub link_attempts: u32,
+    /// Retransmission-timeout floor (also the initial timeout, before
+    /// the first RTT sample).
+    pub rto_min: SimDuration,
+    /// Retransmission-timeout ceiling (backoff saturates here).
+    pub rto_max: SimDuration,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            cca: CcaSpec::default(),
+            link_attempts: 4,
+            rto_min: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(3),
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Reject degenerate parameter sets before they reach the simulator,
+    /// mirroring [`TcpConfig::validate`]: zero `link_attempts` makes no
+    /// link progress, a zero `rto_min` retries without advancing time,
+    /// an inverted `rto_min > rto_max` breaks the timeout clamp, and an
+    /// unknown or under-windowed CCA cannot be built.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.link_attempts == 0 {
+            return Err(
+                "flow link_attempts must be >= 1: zero attempts per packet would make no \
+                 link progress and hang the run"
+                    .to_string(),
+            );
+        }
+        if self.rto_min.is_zero() {
+            return Err(
+                "flow rto_min must be positive (a zero retransmission timeout retries \
+                 without advancing time)"
+                    .to_string(),
+            );
+        }
+        if self.rto_min > self.rto_max {
+            return Err(format!(
+                "flow rto_min {} exceeds rto_max {}; raise rto_max or lower rto_min",
+                self.rto_min, self.rto_max
+            ));
+        }
+        self.cca.validate().map_err(|e| format!("flow cca: {e}"))
+    }
 }
 
 /// Where a trace workload's packet schedule comes from.
@@ -124,12 +231,22 @@ pub enum Workload {
     /// deterministically), one link attempt each, per-record payload
     /// sizes.
     Trace(TraceSource),
+    /// The closed-loop flow model: a window-based sender with acks, RTT
+    /// estimation, loss detection and a pluggable congestion controller,
+    /// flowing through the AP's wired backhaul queue when one is
+    /// configured.
+    Flow(FlowConfig),
 }
 
 impl Workload {
     /// TCP with default parameters.
     pub fn tcp() -> Workload {
         Workload::Tcp(TcpConfig::default())
+    }
+
+    /// A closed-loop flow with default parameters (Reno, window cap 64).
+    pub fn flow() -> Workload {
+        Workload::Flow(FlowConfig::default())
     }
 
     /// Replay the trace file at `path`.
@@ -161,6 +278,7 @@ impl Workload {
                 }
             }
             Workload::Trace(TraceSource::Inline(t)) => t.validate_replayable(),
+            Workload::Flow(cfg) => cfg.validate(),
         }
     }
 
@@ -203,6 +321,10 @@ impl Workload {
                 t.len(),
                 t.send_count(),
                 t.duration()
+            ),
+            Workload::Flow(cfg) => format!(
+                "Flow({} w={}, attempts={}, rto {}..{})",
+                cfg.cca.name, cfg.cca.window, cfg.link_attempts, cfg.rto_min, cfg.rto_max
             ),
         }
     }
@@ -298,6 +420,80 @@ mod tests {
         let mut udp = Workload::Udp;
         udp.rebase(base);
         assert_eq!(udp, Workload::Udp);
+    }
+
+    #[test]
+    fn backoff_shift_cap_tracks_rto_max() {
+        // Defaults: 3 s / 200 ms = 15x, reached at the 4th doubling
+        // (16x) — exactly the clamp the old hard-coded constant baked in.
+        assert_eq!(TcpConfig::default().backoff_shift_cap(), 4);
+        // A taller ceiling needs more doublings: 200 ms -> 51.2 s is
+        // 2^8 = 256x past 51.2/0.2 = 256.
+        let tall = TcpConfig {
+            rto_max: SimDuration::from_micros(51_200_000),
+            ..TcpConfig::default()
+        };
+        assert_eq!(tall.backoff_shift_cap(), 8);
+        // The old constant silently truncated this curve at 16x.
+        assert!(tall.backoff_shift_cap() > 4);
+        // rto == rto_max: no doubling at all.
+        let flat = TcpConfig {
+            rto: SimDuration::from_secs(3),
+            ..TcpConfig::default()
+        };
+        assert_eq!(flat.backoff_shift_cap(), 0);
+        // Arithmetic guard holds for absurd ratios.
+        let absurd = TcpConfig {
+            rto: SimDuration::from_micros(1),
+            rto_max: SimDuration::from_micros(u64::MAX),
+            ..TcpConfig::default()
+        };
+        assert!(absurd.backoff_shift_cap() <= 32);
+    }
+
+    #[test]
+    fn flow_defaults_validate_and_degenerate_flows_are_rejected() {
+        assert!(FlowConfig::default().validate().is_ok());
+        assert_eq!(Workload::flow(), Workload::Flow(FlowConfig::default()));
+        assert!(Workload::flow().validate().is_ok());
+
+        let no_attempts = FlowConfig {
+            link_attempts: 0,
+            ..FlowConfig::default()
+        };
+        assert!(no_attempts
+            .validate()
+            .unwrap_err()
+            .contains("link_attempts must be >= 1"));
+
+        let zero_rto = FlowConfig {
+            rto_min: SimDuration::ZERO,
+            ..FlowConfig::default()
+        };
+        assert!(zero_rto
+            .validate()
+            .unwrap_err()
+            .contains("rto_min must be positive"));
+
+        let inverted = FlowConfig {
+            rto_min: SimDuration::from_secs(10),
+            ..FlowConfig::default()
+        };
+        assert!(inverted.validate().unwrap_err().contains("exceeds rto_max"));
+
+        let unknown_cca = FlowConfig {
+            cca: CcaSpec::named("vegas"),
+            ..FlowConfig::default()
+        };
+        let msg = unknown_cca.validate().unwrap_err();
+        assert!(msg.contains("Reno, FixedWindow"), "{msg}");
+    }
+
+    #[test]
+    fn flow_summary_names_the_cca() {
+        let s = Workload::flow().summary();
+        assert!(s.contains("Reno"), "{s}");
+        assert!(s.starts_with("Flow("));
     }
 
     #[test]

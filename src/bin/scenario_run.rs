@@ -35,20 +35,24 @@ const USAGE: &str =
        --jobs N     shard a fleet's span simulations over N worker\n\
                     threads (N >= 1; output is byte-identical to serial)\n\
        --validate   parse and validate the spec, then exit without\n\
-                    simulating anything\n\
+                    simulating anything (mutually exclusive with\n\
+                    --record: a validation-only run produces no trace)\n\
        --record PATH\n\
                     (single-link specs) also write the run's delivered-\n\
                     packet trace to PATH — text `time_us,direction,size`\n\
                     lines, or the compact binary form when PATH ends in\n\
                     .bin. The file replays via a Trace workload\n\
-                    (EXPERIMENTS.md, \"Trace workloads\")\n\
+                    (EXPERIMENTS.md, \"Trace workloads\"). The path is\n\
+                    checked before the run: an uncreatable file is a\n\
+                    user error (exit 2), not a post-run surprise\n\
 \n\
 exit codes:\n\
        0  success (the run finished, or --validate accepted the spec)\n\
        1  environment failure (e.g. the spec file cannot be read, or\n\
-          the --record file cannot be written)\n\
-       2  user error (bad arguments, malformed JSON, or a spec that\n\
-          fails validation)";
+          the --record file fails mid-write)\n\
+       2  user error (bad arguments, conflicting flags, malformed\n\
+          JSON, a spec that fails validation, or a --record path that\n\
+          cannot be created)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,7 +99,16 @@ fn main() -> ExitCode {
         eprintln!("scenario_run: missing spec file\n{USAGE}");
         return ExitCode::from(2);
     };
-
+    if validate && record.is_some() {
+        // Silently ignoring --record here (the old behaviour) hid the
+        // flag conflict until the user went looking for the trace file.
+        eprintln!(
+            "scenario_run: --record and --validate are mutually exclusive \
+             (--validate never simulates, so there is no trace to record); \
+             drop one of the two flags\n{USAGE}"
+        );
+        return ExitCode::from(2);
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -168,6 +181,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(out_path) = record {
+        // Pre-flight the record path so a doomed destination fails now
+        // (user error, exit 2), not after the whole simulation has run.
+        // `PacketTrace::save` truncates on success, so the placeholder
+        // file created here is simply overwritten.
+        if let Err(e) = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(out_path)
+        {
+            eprintln!(
+                "scenario_run: cannot create --record path {out_path}: {e} \
+                 (check the directory exists and is writable)\n{USAGE}"
+            );
+            return ExitCode::from(2);
+        }
+    }
     let (outcome, recorded) = match record {
         None => (scenario.run(), None),
         Some(out_path) => {

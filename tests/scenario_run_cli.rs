@@ -300,3 +300,36 @@ fn single_link_spec_with_clients_in_a_string_value_is_not_misrouted() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("environment : clients"), "{stdout}");
 }
+
+#[test]
+fn record_with_validate_is_a_flag_conflict() {
+    // --validate never simulates, so --record has no trace to write;
+    // the old behaviour silently dropped --record. Now: exit 2,
+    // actionable message, and no file left behind.
+    let out_path = std::env::temp_dir().join("scenario_run_cli_conflict.trace");
+    let _ = std::fs::remove_file(&out_path);
+    let out = scenario_run(&[
+        "scenarios/mixed_office_tcp.json",
+        "--validate",
+        "--record",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+    assert!(err.contains("drop one of the two flags"), "{err}");
+    assert!(!out_path.exists(), "conflicting flags must not write files");
+}
+
+#[test]
+fn uncreatable_record_path_exits_two_before_the_run() {
+    // A path whose parent directory does not exist cannot be created no
+    // matter the privileges; the pre-flight check turns it into a user
+    // error (exit 2) instead of a post-simulation environment failure.
+    let bad = "/nonexistent-scenario-run-dir/out.trace";
+    let out = scenario_run(&["scenarios/mixed_office_tcp.json", "--record", bad]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot create --record path"), "{err}");
+    assert!(err.contains("directory exists and is writable"), "{err}");
+}
